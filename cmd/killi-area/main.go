@@ -1,0 +1,85 @@
+// killi-area regenerates the paper's storage-area and power tables:
+//
+//	-table 4: Killi storage with DECTED / TECQED / 6EC7ED codes,
+//	          normalized to SECDED-per-line
+//	-table 5: area comparison across protection schemes
+//	-table 6: power at 0.625×VDD normalized to the nominal fault-free cache
+//	-table 7: Killi-with-OLSC vs MS-ECC at 0.600 and 0.575×VDD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"killi/internal/analytic"
+	"killi/internal/faultmodel"
+)
+
+func main() {
+	table := flag.Int("table", 5, "table to regenerate (4, 5, 6, or 7)")
+	voltage := flag.Float64("voltage", 0.625, "operating voltage for table 6")
+	flag.Parse()
+
+	g := analytic.PaperL2()
+	switch *table {
+	case 4:
+		table4(g)
+	case 5:
+		table5(g)
+	case 6:
+		table6(*voltage)
+	case 7:
+		table7(g)
+	default:
+		fmt.Fprintf(os.Stderr, "killi-area: unknown table %d\n", *table)
+		os.Exit(2)
+	}
+}
+
+func table4(g analytic.L2Geometry) {
+	fmt.Println("# Table 4: Killi storage area by ECC code, normalized to SECDED-per-line")
+	ratios := []int{256, 128, 64, 32, 16}
+	fmt.Printf("%-8s", "Code")
+	for _, r := range ratios {
+		fmt.Printf(" 1:%-6d", r)
+	}
+	fmt.Println()
+	for _, row := range analytic.Table4(g) {
+		fmt.Printf("%-8s", row.Code)
+		for _, r := range ratios {
+			fmt.Printf(" %-8.2f", row.Ratios[r])
+		}
+		fmt.Println()
+	}
+}
+
+func table5(g analytic.L2Geometry) {
+	fmt.Println("# Table 5: area comparison (ratio normalized to SECDED; % over 2MB L2)")
+	fmt.Printf("%-14s %-12s %-8s %-10s\n", "Scheme", "Bits", "Ratio", "%overL2")
+	for _, e := range analytic.Table5(g) {
+		fmt.Printf("%-14s %-12d %-8.2f %-10.2f\n", e.Scheme, e.Bits, e.Ratio, e.PctOverL2)
+	}
+	fmt.Printf("\nKilli overhead: %.2f KB (1:256) .. %.2f KB (1:16); paper: 24.6 .. 34.25 KB\n",
+		analytic.KilliBytesForRatio(g, 256), analytic.KilliBytesForRatio(g, 16))
+}
+
+func table6(v float64) {
+	fmt.Printf("# Table 6: power (%% of nominal fault-free) at %.3f x VDD\n", v)
+	fmt.Printf("%-14s %-8s %-10s\n", "Scheme", "Power%", "Saving%")
+	for _, e := range analytic.Table6(v) {
+		fmt.Printf("%-14s %-8.1f %-10.1f\n", e.Scheme, e.Power, analytic.PowerSavingVsNominal(e.Power))
+	}
+}
+
+func table7(g analytic.L2Geometry) {
+	m := faultmodel.Default()
+	fmt.Println("# Table 7: Killi (w/OLSC) storage vs MS-ECC for target capacity")
+	fmt.Printf("%-8s %-14s %-10s %-14s\n", "V/VDD", "Capacity%", "ECCratio", "Killi/MS-ECC")
+	for _, row := range analytic.Table7(g, func(v float64) float64 {
+		return m.CellFailureProb(v, 1.0)
+	}) {
+		fmt.Printf("%-8.3f %-14.2f 1:%-8d %-14.2f\n",
+			row.Voltage, row.CapacityTarget, row.ECCRatio, row.KilliOverMSECC)
+	}
+}

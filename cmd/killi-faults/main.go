@@ -1,0 +1,109 @@
+// killi-faults regenerates the paper's fault-characterization figures:
+//
+//	-fig 1: SRAM cell failure probability vs normalized voltage, per test
+//	        kind and frequency (Figure 1)
+//	-fig 2: percentage of 64 B lines with 0 / 1 / ≥2 faults vs voltage
+//	        (Figure 2), both analytic and sampled from a fault map
+//
+// Output is whitespace-aligned text, one series per column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"killi/internal/asciiplot"
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+	"killi/internal/xrand"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure to regenerate (1 or 2)")
+	seed := flag.Uint64("seed", 1, "fault map seed (figure 2)")
+	lines := flag.Int("lines", 32768, "lines sampled for the empirical figure 2 columns")
+	plot := flag.Bool("plot", false, "render the figure as an ASCII chart")
+	flag.Parse()
+
+	m := faultmodel.Default()
+	switch *fig {
+	case 1:
+		if *plot {
+			plotFig1(m)
+			return
+		}
+		fig1(m)
+	case 2:
+		if *plot {
+			plotFig2(m)
+			return
+		}
+		fig2(m, *seed, *lines)
+	default:
+		fmt.Fprintf(os.Stderr, "killi-faults: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func plotFig1(m faultmodel.Model) {
+	var vs []float64
+	var rd1, wr1, rd04 []float64
+	for v := 0.50; v <= 0.80001; v += 0.0125 {
+		vs = append(vs, v)
+		rd1 = append(rd1, m.TestFailureProb(faultmodel.ReadDisturb, v, 1.0))
+		wr1 = append(wr1, m.TestFailureProb(faultmodel.Writeability, v, 1.0))
+		rd04 = append(rd04, m.TestFailureProb(faultmodel.ReadDisturb, v, 0.4))
+	}
+	fmt.Print(asciiplot.Render("Figure 1: SRAM cell failure probability vs V/VDD (log scale)", vs,
+		[]asciiplot.Series{
+			{Name: "read disturb @1GHz", Y: rd1, Marker: 'r'},
+			{Name: "writeability @1GHz", Y: wr1, Marker: 'w'},
+			{Name: "read disturb @400MHz", Y: rd04, Marker: '4'},
+		}, asciiplot.Options{Width: 68, Height: 18, LogY: true}))
+}
+
+func fig1(m faultmodel.Model) {
+	fmt.Println("# Figure 1: SRAM cell failure probability vs normalized VDD")
+	fmt.Printf("%-8s %-14s %-14s %-14s %-14s\n",
+		"V/VDD", "read@1GHz", "write@1GHz", "read@400MHz", "write@400MHz")
+	for v := 0.50; v <= 1.0001; v += 0.025 {
+		fmt.Printf("%-8.3f %-14.3e %-14.3e %-14.3e %-14.3e\n", v,
+			m.TestFailureProb(faultmodel.ReadDisturb, v, 1.0),
+			m.TestFailureProb(faultmodel.Writeability, v, 1.0),
+			m.TestFailureProb(faultmodel.ReadDisturb, v, 0.4),
+			m.TestFailureProb(faultmodel.Writeability, v, 0.4))
+	}
+}
+
+func plotFig2(m faultmodel.Model) {
+	var vs, p0, p1, p2 []float64
+	for v := 0.55; v <= 0.70001; v += 0.005 {
+		d := m.LineFaultDist(bitvec.LineBits, v, 1.0)
+		vs = append(vs, v)
+		p0 = append(p0, d.P0*100)
+		p1 = append(p1, d.P1*100)
+		p2 = append(p2, d.P2Plus*100)
+	}
+	fmt.Print(asciiplot.Render("Figure 2: % of 64B lines by fault count vs V/VDD", vs,
+		[]asciiplot.Series{
+			{Name: "0 faults", Y: p0, Marker: '0'},
+			{Name: "1 fault", Y: p1, Marker: '1'},
+			{Name: ">=2 faults", Y: p2, Marker: '2'},
+		}, asciiplot.Options{Width: 68, Height: 18, YMin: 0, YMax: 100}))
+}
+
+func fig2(m faultmodel.Model, seed uint64, lines int) {
+	fmt.Println("# Figure 2: % of 64B lines with 0 / 1 / >=2 faults (1 GHz)")
+	fmt.Printf("%-8s %-10s %-10s %-10s %-12s %-12s %-12s\n",
+		"V/VDD", "P0", "P1", "P2+", "emp0", "emp1", "emp2+")
+	fm := faultmodel.NewMap(xrand.New(seed), m, lines, bitvec.LineBits, 0.55, 1.0)
+	for _, v := range []float64{0.750, 0.725, 0.700, 0.675, 0.650, 0.625, 0.600, 0.575, 0.550} {
+		d := m.LineFaultDist(bitvec.LineBits, v, 1.0)
+		zero, one, two := fm.CountAtVoltage(v)
+		n := float64(lines)
+		fmt.Printf("%-8.3f %-10.4f %-10.4f %-10.4f %-12.4f %-12.4f %-12.4f\n",
+			v, d.P0*100, d.P1*100, d.P2Plus*100,
+			float64(zero)/n*100, float64(one)/n*100, float64(two)/n*100)
+	}
+}

@@ -1,0 +1,105 @@
+// killi-sim regenerates the paper's simulation-driven figures on the GPU
+// memory-hierarchy model:
+//
+//	-fig 4: kernel execution time at 0.625×VDD normalized to a fault-free
+//	        system at nominal VDD, per workload and scheme (Figure 4)
+//	-fig 5: L2 misses-per-kilo-instruction, split into compute-bound and
+//	        memory-bound panels (Figure 5)
+//
+// Both figures come from the same sweep; the flag selects what to print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"killi/internal/experiments"
+	"killi/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 4, "figure to regenerate (4, 5, or 45 for both)")
+	voltage := flag.Float64("voltage", 0.625, "LV operating point (x VDD)")
+	requests := flag.Int("requests", 4000, "trace requests per CU")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all ten)")
+	warmup := flag.Int("warmup", 1, "warm-up kernels before the measured run (DFH persists; 0 includes training cost)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Voltage:       *voltage,
+		RequestsPerCU: *requests,
+		Seed:          *seed,
+		WarmupKernels: *warmup,
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	rows, err := experiments.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+		os.Exit(1)
+	}
+	switch *fig {
+	case 4:
+		printFig4(rows, *voltage)
+	case 5:
+		printFig5(rows, *voltage)
+	case 45:
+		printFig4(rows, *voltage)
+		fmt.Println()
+		printFig5(rows, *voltage)
+	default:
+		fmt.Fprintf(os.Stderr, "killi-sim: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func header(rows []experiments.Row) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows[0].SchemeNames()
+}
+
+func printFig4(rows []experiments.Row, v float64) {
+	fmt.Printf("# Figure 4: execution time at %.3fxVDD normalized to fault-free 1.0xVDD\n", v)
+	names := header(rows)
+	fmt.Printf("%-12s %-14s", "workload", "class")
+	for _, n := range names {
+		fmt.Printf(" %-12s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-12s %-14s", r.Workload, r.Class)
+		for _, n := range names {
+			fmt.Printf(" %-12.4f", r.Normalized[n])
+		}
+		fmt.Println()
+	}
+}
+
+func printFig5(rows []experiments.Row, v float64) {
+	names := header(rows)
+	for _, class := range []workload.Class{workload.ComputeBound, workload.MemoryBound} {
+		fmt.Printf("# Figure 5 (%s panel): L2 MPKI at %.3fxVDD\n", class, v)
+		fmt.Printf("%-12s %-10s", "workload", "baseline")
+		for _, n := range names {
+			fmt.Printf(" %-12s", n)
+		}
+		fmt.Println()
+		for _, r := range rows {
+			if r.Class != class {
+				continue
+			}
+			fmt.Printf("%-12s %-10.2f", r.Workload, r.BaselineMPKI)
+			for _, n := range names {
+				fmt.Printf(" %-12.2f", r.MPKI[n])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

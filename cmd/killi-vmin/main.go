@@ -1,0 +1,103 @@
+// killi-vmin finds, for each protection scheme, the minimum reliable
+// operating voltage (the paper's V_min) subject to capacity and
+// classification-coverage constraints, and reports the L2 power at that
+// point — the deployment question the paper's §5.5 optimizes.
+//
+//	go run ./cmd/killi-vmin -capacity 90 -coverage 99.9
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"killi/internal/analytic"
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+)
+
+type scheme struct {
+	name string
+	// capacity returns the usable-line fraction (%) at per-cell fault
+	// probability p.
+	capacity func(p float64) float64
+	// coverage returns the correct-classification percentage at p.
+	coverage func(p float64) float64
+	// power returns the normalized L2 power (%) at voltage v.
+	power func(v float64) float64
+}
+
+func schemes() []scheme {
+	line := bitvec.LineBits
+	return []scheme{
+		{
+			name:     "secded-line",
+			capacity: func(p float64) float64 { return analytic.DetectCoverage(line+11, 1, p) },
+			coverage: func(p float64) float64 { return analytic.DetectCoverage(523, 2, p) },
+			power:    analytic.PowerFLAIR, // SECDED-class storage
+		},
+		{
+			name:     "dected-line",
+			capacity: func(p float64) float64 { return analytic.DetectCoverage(line+21, 2, p) },
+			coverage: func(p float64) float64 { return analytic.DetectCoverage(533, 3, p) },
+			power:    analytic.PowerDECTED,
+		},
+		{
+			name:     "msecc",
+			capacity: func(p float64) float64 { return analytic.DetectCoverage(1018, 11, p) },
+			coverage: func(p float64) float64 { return analytic.DetectCoverage(1018, 11, p) },
+			power:    analytic.PowerMSECC,
+		},
+		{
+			name:     "flair",
+			capacity: func(p float64) float64 { return analytic.DetectCoverage(line+11, 1, p) },
+			coverage: analytic.FLAIRCoverage,
+			power:    analytic.PowerFLAIR,
+		},
+		{
+			name:     "killi-1:64",
+			capacity: func(p float64) float64 { return analytic.DetectCoverage(line, 1, p) },
+			coverage: analytic.KilliCoverage,
+			power:    func(v float64) float64 { return analytic.PowerKilli(v, 64) },
+		},
+	}
+}
+
+func main() {
+	minCapacity := flag.Float64("capacity", 90, "minimum usable L2 capacity (%)")
+	minCoverage := flag.Float64("coverage", 99.9, "minimum classification coverage (%)")
+	step := flag.Float64("step", 0.005, "voltage search step")
+	flag.Parse()
+
+	m := faultmodel.Default()
+	fmt.Printf("# Vmin per scheme for capacity >= %.1f%% and coverage >= %.2f%% (1 GHz)\n",
+		*minCapacity, *minCoverage)
+	fmt.Printf("%-14s %-8s %-12s %-12s %-10s %-10s\n",
+		"scheme", "Vmin", "capacity%", "coverage%", "power%", "saving%")
+	for _, s := range schemes() {
+		vmin, ok := findVmin(s, m, *minCapacity, *minCoverage, *step)
+		if !ok {
+			fmt.Printf("%-14s %-8s constraints unreachable above 0.5xVDD\n", s.name, "-")
+			continue
+		}
+		p := m.CellFailureProb(vmin, 1.0)
+		pw := s.power(vmin)
+		fmt.Printf("%-14s %-8.4f %-12.3f %-12.4f %-10.1f %-10.1f\n",
+			s.name, vmin, s.capacity(p), s.coverage(p), pw, analytic.PowerSavingVsNominal(pw))
+	}
+}
+
+// findVmin scans downward from nominal and returns the lowest voltage
+// still meeting both constraints (constraints are monotone in voltage, so
+// the scan is exact to one step).
+func findVmin(s scheme, m faultmodel.Model, minCap, minCov, step float64) (float64, bool) {
+	best, found := 0.0, false
+	for v := 1.0; v >= 0.5; v -= step {
+		p := m.CellFailureProb(v, 1.0)
+		if s.capacity(p) >= minCap && s.coverage(p) >= minCov {
+			best, found = v, true
+			continue
+		}
+		break
+	}
+	return best, found
+}

@@ -1,0 +1,24 @@
+// Package killi is a from-scratch Go reproduction of "Killi: Runtime Fault
+// Classification to Deploy Low Voltage Caches without MBIST" (HPCA 2019).
+//
+// The repository implements the paper's full stack: real error-correction
+// codecs (segmented interleaved parity, Hsiao SECDED, binary BCH up to
+// 6EC7ED, Orthogonal Latin Square codes), a calibrated low-voltage SRAM
+// fault model, a bit-level faulty data array, a cycle-based 8-CU GPU
+// memory-hierarchy simulator with a write-through L2, the Killi mechanism
+// itself (DFH state machine + on-demand ECC cache), the paper's comparison
+// baselines (SECDED/DECTED per line, FLAIR, MS-ECC), and the closed-form
+// coverage/area/power models — with a regeneration path for every figure
+// and table in the paper's evaluation.
+//
+// Entry points:
+//
+//	internal/killi       the mechanism (protection.Scheme + write-back variant)
+//	internal/gpu         the simulator
+//	cmd/killi-*          figure/table regeneration binaries
+//	examples/*           runnable walkthroughs
+//	bench_test.go        one benchmark per paper figure/table
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// versus published results.
+package killi

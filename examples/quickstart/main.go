@@ -1,0 +1,59 @@
+// Quickstart: wrap the simulated GPU L2 with Killi, run one workload at
+// low voltage, and print what the runtime fault classification did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"killi/internal/gpu"
+	"killi/internal/killi"
+	"killi/internal/protection"
+	"killi/internal/workload"
+)
+
+func main() {
+	// The paper's Table 3 GPU, with the L2 data array undervolted to
+	// 0.625×VDD while everything else stays at nominal.
+	cfg := gpu.DefaultConfig()
+	cfg.Voltage = 0.625
+
+	// Killi with a 1:64 ECC cache (one ECC entry per 64 L2 lines).
+	scheme := killi.New(killi.Config{Ratio: 64})
+	sys := gpu.New(cfg, scheme)
+
+	// One of the ten workload proxies: XSBench-style random table lookups.
+	w, err := workload.ByName("xsbench")
+	if err != nil {
+		panic(err)
+	}
+	res := sys.Run(w.Traces(cfg.CUs, 5000, 42))
+
+	fmt.Printf("workload:            %s (%s)\n", w.Name, w.Class)
+	fmt.Printf("cycles:              %d\n", res.Cycles)
+	fmt.Printf("instructions:        %d\n", res.Instructions)
+	fmt.Printf("L2 MPKI:             %.2f\n", res.MPKI())
+	fmt.Printf("ECC cache entries:   %d (occupied at end: %d)\n",
+		scheme.ECCEntries(), scheme.ECCOccupancy())
+	fmt.Printf("lines disabled:      %d of %d\n", res.DisabledLines, cfg.L2Bytes/cfg.LineBytes)
+	fmt.Println()
+	fmt.Println("Killi classification activity:")
+	for _, name := range []string{
+		"killi.dfh_b'01_to_b'00",
+		"killi.dfh_b'01_to_b'10",
+		"killi.dfh_b'01_to_b'11",
+		"killi.corrected_reads",
+		"killi.eviction_trainings",
+		"killi.ecc_contention_evictions",
+		"l2.error_misses",
+		"l2.silent_data_corruption",
+	} {
+		fmt.Printf("  %-34s %d\n", name, res.Counters.Get(name))
+	}
+
+	// Compare against the fault-free baseline at nominal voltage.
+	base := gpu.New(gpu.DefaultConfig(), protection.NewNone()).Run(w.Traces(cfg.CUs, 5000, 42))
+	fmt.Printf("\nslowdown vs fault-free nominal baseline: %.2f%%\n",
+		(float64(res.Cycles)/float64(base.Cycles)-1)*100)
+}

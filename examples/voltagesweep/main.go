@@ -1,0 +1,43 @@
+// Voltage sweep: walk the L2 supply voltage from nominal down to 0.5×VDD
+// and show, at each point, the fault population (Figure 2), the analytic
+// classification coverage (Figure 6), and Killi's usable cache capacity.
+//
+//	go run ./examples/voltagesweep
+package main
+
+import (
+	"fmt"
+
+	"killi/internal/analytic"
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+	"killi/internal/xrand"
+)
+
+func main() {
+	m := faultmodel.Default()
+	const lines = 32768 // the paper's 2 MB L2
+
+	// One persistent fault population sampled at the lowest voltage;
+	// higher voltages see monotone subsets (the silicon persistence
+	// property Killi relies on).
+	fm := faultmodel.NewMap(xrand.New(7), m, lines, bitvec.LineBits, 0.5, 1.0)
+
+	fmt.Println("V/VDD   P_cell      lines:0    lines:1    lines:2+   killi-capacity%  coverage%")
+	for _, v := range []float64{1.0, 0.80, 0.70, 0.675, 0.65, 0.625, 0.60, 0.575, 0.55, 0.50} {
+		p := m.CellFailureProb(v, 1.0)
+		zero, one, two := fm.CountAtVoltage(v)
+		// Killi keeps 0- and 1-fault lines enabled; ≥2-fault lines are
+		// disabled until the next DFH reset.
+		capacity := float64(zero+one) / lines * 100
+		fmt.Printf("%-7.3f %-11.2e %-10d %-10d %-10d %-16.2f %-10.4f\n",
+			v, p, zero, one, two, capacity, analytic.KilliCoverage(p))
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println(" - above ~0.675xVDD the array is effectively fault-free;")
+	fmt.Println(" - at 0.625xVDD (the paper's operating point) >95% of lines have <2")
+	fmt.Println("   faults, so Killi keeps nearly all capacity with only parity+SECDED;")
+	fmt.Println(" - below 0.6xVDD multi-fault lines multiply: capacity falls, but the")
+	fmt.Println("   classification coverage stays ~100% (only Killi and FLAIR do this).")
+}

@@ -1,0 +1,3 @@
+module killi
+
+go 1.22

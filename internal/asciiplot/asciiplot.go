@@ -1,0 +1,166 @@
+// Package asciiplot renders multi-series line charts as plain text, so the
+// figure-regeneration tools can draw the paper's curves directly in a
+// terminal (no plotting dependencies — the module is offline and
+// stdlib-only).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve: Y values aligned with the shared X axis, drawn with
+// Marker.
+type Series struct {
+	Name   string
+	Y      []float64
+	Marker byte
+}
+
+// Options controls the rendering.
+type Options struct {
+	// Width and Height are the plot area size in characters (defaults
+	// 64×16).
+	Width, Height int
+	// LogY plots log10(y); non-positive values are clamped to YMin.
+	LogY bool
+	// YMin/YMax fix the vertical range; when both are zero the range is
+	// derived from the data.
+	YMin, YMax float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// Render draws the series over the shared xs axis. Series shorter than xs
+// are drawn for the points they have. The result ends with a newline.
+func Render(title string, xs []float64, series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	tr := newTransform(series, opts)
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		n := len(s.Y)
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			col := 0
+			if len(xs) > 1 {
+				col = int(math.Round(float64(i) / float64(len(xs)-1) * float64(opts.Width-1)))
+			}
+			row := tr.row(s.Y[i], opts.Height)
+			if row >= 0 && row < opts.Height && col >= 0 && col < opts.Width {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for r := 0; r < opts.Height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = tr.label(tr.max)
+		case opts.Height - 1:
+			label = tr.label(tr.min)
+		}
+		fmt.Fprintf(&sb, "%10s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%10s +%s+\n", "", strings.Repeat("-", opts.Width))
+	if len(xs) > 0 {
+		fmt.Fprintf(&sb, "%10s  %-*.4g%*.4g\n", "x:", opts.Width/2, xs[0], opts.Width-opts.Width/2, xs[len(xs)-1])
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&sb, "%10s  %c %s\n", "", marker, s.Name)
+	}
+	return sb.String()
+}
+
+// transform maps data values to rows.
+type transform struct {
+	min, max float64
+	logY     bool
+}
+
+func newTransform(series []Series, opts Options) transform {
+	tr := transform{logY: opts.LogY}
+	if opts.YMin != 0 || opts.YMax != 0 {
+		tr.min, tr.max = opts.YMin, opts.YMax
+	} else {
+		tr.min, tr.max = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, y := range s.Y {
+				if opts.LogY && y <= 0 {
+					continue
+				}
+				tr.min = math.Min(tr.min, y)
+				tr.max = math.Max(tr.max, y)
+			}
+		}
+		if math.IsInf(tr.min, 1) {
+			tr.min, tr.max = 0, 1
+		}
+	}
+	if tr.min == tr.max {
+		tr.max = tr.min + 1
+	}
+	return tr
+}
+
+// scale maps a value to [0, 1] bottom-to-top.
+func (t transform) scale(y float64) float64 {
+	lo, hi, v := t.min, t.max, y
+	if t.logY {
+		clamp := func(x float64) float64 {
+			if x <= 0 {
+				return t.min
+			}
+			return x
+		}
+		lo, hi, v = math.Log10(clamp(lo)), math.Log10(clamp(hi)), math.Log10(clamp(y))
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// row converts a value to a grid row (row 0 is the top).
+func (t transform) row(y float64, height int) int {
+	return int(math.Round((1 - t.scale(y)) * float64(height-1)))
+}
+
+// label formats an axis endpoint.
+func (t transform) label(v float64) string {
+	if t.logY || math.Abs(v) < 1e-3 && v != 0 {
+		return fmt.Sprintf("%.1e", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,110 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	out := Render("demo", xs, []Series{
+		{Name: "up", Y: []float64{0, 1, 2, 3}, Marker: 'u'},
+		{Name: "down", Y: []float64{3, 2, 1, 0}, Marker: 'd'},
+	}, Options{Width: 20, Height: 8})
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "u up") || !strings.Contains(out, "d down") {
+		t.Fatal("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 8 rows + axis + x labels + 2 legend + trailing empty.
+	if len(lines) != 1+8+1+1+2+1 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// The rising series must appear at top-right, the falling at top-left.
+	top := lines[1]
+	if !strings.Contains(top, "u") || !strings.Contains(top, "d") {
+		t.Fatalf("top row missing extremes: %q", top)
+	}
+	if strings.Index(top, "d") > strings.Index(top, "u") {
+		t.Fatal("orientation wrong: falling series should peak on the left")
+	}
+}
+
+func TestRenderMonotonePlacement(t *testing.T) {
+	xs := make([]float64, 10)
+	ys := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i)
+	}
+	out := Render("", xs, []Series{{Name: "lin", Y: ys}}, Options{Width: 30, Height: 10})
+	rows := strings.Split(out, "\n")
+	// Column position of the marker must increase as row index increases
+	// top-to-bottom inverted (monotone line).
+	prevCol := 1 << 30
+	for _, row := range rows[:10] {
+		idx := strings.IndexByte(row, '*')
+		if idx < 0 {
+			continue
+		}
+		if idx > prevCol {
+			t.Fatalf("line not monotone in render:\n%s", out)
+		}
+		prevCol = idx
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	out := Render("log", xs, []Series{{Name: "p", Y: []float64{1e-8, 1e-4, 1e-1}}},
+		Options{Width: 20, Height: 10, LogY: true})
+	if !strings.Contains(out, "1.0e-08") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+	// With log scaling the three points must occupy distinct rows
+	// (count plot rows only; the legend also shows the marker).
+	marks := 0
+	for _, row := range strings.Split(out, "\n")[1:11] {
+		if strings.Contains(row, "*") {
+			marks++
+		}
+	}
+	if marks != 3 {
+		t.Fatalf("%d marked rows, want 3 (log spread)", marks)
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	out := Render("", nil, nil, Options{})
+	if out == "" {
+		t.Fatal("empty render produced nothing")
+	}
+	// Constant series must not divide by zero.
+	out = Render("", []float64{0, 1}, []Series{{Name: "c", Y: []float64{5, 5}}}, Options{})
+	if !strings.Contains(out, "c") {
+		t.Fatal("constant series broke rendering")
+	}
+	// Non-positive values with LogY are clamped, not crashed.
+	_ = Render("", []float64{0, 1}, []Series{{Name: "z", Y: []float64{0, 10}}}, Options{LogY: true})
+}
+
+func TestFixedRangeClamping(t *testing.T) {
+	xs := []float64{0, 1}
+	out := Render("", xs, []Series{{Name: "s", Y: []float64{-5, 50}}},
+		Options{Width: 10, Height: 5, YMin: 0, YMax: 10})
+	rows := strings.Split(out, "\n")
+	if !strings.Contains(rows[0], "10") {
+		t.Fatalf("fixed max label missing: %q", rows[0])
+	}
+	// Both out-of-range points are clamped into the grid (present);
+	// count only the 5 plot rows (the legend also shows the marker).
+	marks := 0
+	for _, r := range rows[:5] {
+		marks += strings.Count(r, "*")
+	}
+	if marks != 2 {
+		t.Fatalf("marks=%d, want 2 (clamped)", marks)
+	}
+}

@@ -1,0 +1,267 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"killi/internal/xrand"
+)
+
+func TestLineSetGetBit(t *testing.T) {
+	var l Line
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 255, 511} {
+		if l.Bit(i) != 0 {
+			t.Fatalf("fresh line has bit %d set", i)
+		}
+		l.SetBit(i, 1)
+		if l.Bit(i) != 1 {
+			t.Fatalf("bit %d did not set", i)
+		}
+		l.SetBit(i, 0)
+		if l.Bit(i) != 0 {
+			t.Fatalf("bit %d did not clear", i)
+		}
+	}
+}
+
+func TestLineFlipBit(t *testing.T) {
+	var l Line
+	l.FlipBit(100)
+	if l.Bit(100) != 1 {
+		t.Fatal("flip did not set")
+	}
+	l.FlipBit(100)
+	if l.Bit(100) != 0 {
+		t.Fatal("double flip did not restore")
+	}
+}
+
+func TestLineBitPanics(t *testing.T) {
+	for _, i := range []int{-1, 512, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			var l Line
+			l.Bit(i)
+		}()
+	}
+}
+
+func TestLinePopCountAndXor(t *testing.T) {
+	var a, b Line
+	a.SetBit(0, 1)
+	a.SetBit(511, 1)
+	b.SetBit(0, 1)
+	b.SetBit(100, 1)
+	x := a.Xor(b)
+	if x.PopCount() != 2 {
+		t.Fatalf("xor popcount = %d, want 2", x.PopCount())
+	}
+	if x.Bit(511) != 1 || x.Bit(100) != 1 || x.Bit(0) != 0 {
+		t.Fatal("xor bits wrong")
+	}
+}
+
+func TestLineDiffBits(t *testing.T) {
+	var a, b Line
+	b.SetBit(3, 1)
+	b.SetBit(64, 1)
+	b.SetBit(500, 1)
+	d := a.DiffBits(b)
+	want := []int{3, 64, 500}
+	if len(d) != len(want) {
+		t.Fatalf("DiffBits = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("DiffBits = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestLineInvert(t *testing.T) {
+	var l Line
+	l.SetBit(7, 1)
+	inv := l.Invert()
+	if inv.PopCount() != LineBits-1 {
+		t.Fatalf("invert popcount = %d", inv.PopCount())
+	}
+	if inv.Bit(7) != 0 {
+		t.Fatal("inverted bit 7 should be 0")
+	}
+	back := inv.Invert()
+	if back != l {
+		t.Fatal("double invert is not identity")
+	}
+}
+
+func TestLineIsZero(t *testing.T) {
+	var l Line
+	if !l.IsZero() {
+		t.Fatal("zero line not zero")
+	}
+	l.SetBit(200, 1)
+	if l.IsZero() {
+		t.Fatal("non-zero line reported zero")
+	}
+}
+
+func TestLineBytesRoundTrip(t *testing.T) {
+	f := func(w0, w1, w2, w3, w4, w5, w6, w7 uint64) bool {
+		l := Line{w0, w1, w2, w3, w4, w5, w6, w7}
+		return LineFromBytes(l.Bytes()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineString(t *testing.T) {
+	var l Line
+	l[LineWords-1] = 0xdead
+	s := l.String()
+	if len(s) != 128 {
+		t.Fatalf("hex string length %d, want 128", len(s))
+	}
+	if s[:16] != "000000000000dead" {
+		t.Fatalf("high word rendering = %q", s[:16])
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(523)
+	if v.Len() != 523 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if !v.IsZero() {
+		t.Fatal("fresh vector not zero")
+	}
+	v.SetBit(522, 1)
+	if v.Bit(522) != 1 {
+		t.Fatal("bit 522 not set")
+	}
+	if v.PopCount() != 1 {
+		t.Fatalf("popcount = %d", v.PopCount())
+	}
+	v.FlipBit(522)
+	if !v.IsZero() {
+		t.Fatal("flip did not clear")
+	}
+}
+
+func TestVectorBoundsPanics(t *testing.T) {
+	v := NewVector(10)
+	for _, i := range []int{-1, 10, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) on 10-bit vector did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestVectorXorEqualClone(t *testing.T) {
+	a := NewVector(100)
+	b := NewVector(100)
+	a.SetBit(5, 1)
+	b.SetBit(5, 1)
+	b.SetBit(99, 1)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	a.Xor(b)
+	if a.Bit(5) != 0 || a.Bit(99) != 1 {
+		t.Fatal("xor wrong")
+	}
+	if c.Bit(5) != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if a.Equal(NewVector(101)) {
+		t.Fatal("vectors of different length compared equal")
+	}
+}
+
+func TestVectorXorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with length mismatch did not panic")
+		}
+	}()
+	NewVector(10).Xor(NewVector(11))
+}
+
+func TestVectorOneBits(t *testing.T) {
+	v := NewVector(200)
+	set := []int{0, 63, 64, 128, 199}
+	for _, i := range set {
+		v.SetBit(i, 1)
+	}
+	got := v.OneBits()
+	if len(got) != len(set) {
+		t.Fatalf("OneBits = %v", got)
+	}
+	for i := range set {
+		if got[i] != set[i] {
+			t.Fatalf("OneBits = %v, want %v", got, set)
+		}
+	}
+}
+
+func TestVectorZeroWidth(t *testing.T) {
+	v := NewVector(0)
+	if v.Len() != 0 || !v.IsZero() || v.PopCount() != 0 {
+		t.Fatal("zero-width vector misbehaves")
+	}
+	if got := v.OneBits(); len(got) != 0 {
+		t.Fatalf("OneBits on empty = %v", got)
+	}
+}
+
+func TestRandomLineRoundTripProperty(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		var l Line
+		for w := range l {
+			l[w] = r.Uint64()
+		}
+		// SetBit(Bit(i)) must be identity for all words touched.
+		for _, i := range []int{0, 17, 63, 64, 300, 511} {
+			v := l.Bit(i)
+			l.SetBit(i, v)
+		}
+		if got := LineFromBytes(l.Bytes()); got != l {
+			t.Fatal("byte round trip failed")
+		}
+	}
+}
+
+func TestDiffBitsSymmetricProperty(t *testing.T) {
+	r := xrand.New(5)
+	for trial := 0; trial < 100; trial++ {
+		var a, b Line
+		for w := range a {
+			a[w] = r.Uint64()
+			b[w] = r.Uint64()
+		}
+		ab := a.DiffBits(b)
+		ba := b.DiffBits(a)
+		if len(ab) != len(ba) {
+			t.Fatal("DiffBits not symmetric in count")
+		}
+		for i := range ab {
+			if ab[i] != ba[i] {
+				t.Fatal("DiffBits not symmetric in positions")
+			}
+		}
+		if len(ab) != a.Xor(b).PopCount() {
+			t.Fatal("DiffBits count != xor popcount")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"testing"
+
+	"killi/internal/xrand"
+)
+
+func newTestCache(t *testing.T) *Cache {
+	t.Helper()
+	return New(Config{Sets: 8, Ways: 4, LineBytes: 64})
+}
+
+func TestConfigLines(t *testing.T) {
+	if (Config{Sets: 2048, Ways: 16, LineBytes: 64}).Lines() != 32768 {
+		t.Fatal("2MB L2 geometry line count wrong")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero sets": {Sets: 0, Ways: 4, LineBytes: 64},
+		"zero ways": {Sets: 8, Ways: 0, LineBytes: 64},
+		"npo2 line": {Sets: 8, Ways: 4, LineBytes: 48},
+		"zero line": {Sets: 8, Ways: 4, LineBytes: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestAddressSplit(t *testing.T) {
+	c := newTestCache(t)
+	// addr = tag*sets*64 + set*64 + offset
+	addr := uint64(5*8*64 + 3*64 + 17)
+	if c.Index(addr) != 3 {
+		t.Fatalf("Index = %d, want 3", c.Index(addr))
+	}
+	if c.Tag(addr) != 5 {
+		t.Fatalf("Tag = %d, want 5", c.Tag(addr))
+	}
+}
+
+func TestLookupMissOnEmpty(t *testing.T) {
+	c := newTestCache(t)
+	if _, hit := c.Lookup(0, 42); hit {
+		t.Fatal("hit in empty cache")
+	}
+}
+
+func TestInstallThenHit(t *testing.T) {
+	c := newTestCache(t)
+	c.Install(2, 1, 99)
+	way, hit := c.Lookup(2, 99)
+	if !hit || way != 1 {
+		t.Fatalf("lookup after install: way=%d hit=%v", way, hit)
+	}
+	if _, hit := c.Lookup(3, 99); hit {
+		t.Fatal("hit in wrong set")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newTestCache(t)
+	c.Install(0, 0, 7)
+	c.Invalidate(0, 0)
+	if _, hit := c.Lookup(0, 7); hit {
+		t.Fatal("hit after invalidate")
+	}
+}
+
+func TestDisabledLineNeverHits(t *testing.T) {
+	c := newTestCache(t)
+	c.Install(0, 0, 7)
+	c.Entry(0, 0).Disabled = true
+	if _, hit := c.Lookup(0, 7); hit {
+		t.Fatal("disabled line produced a hit")
+	}
+}
+
+func TestLRUVictimPrefersInvalid(t *testing.T) {
+	c := newTestCache(t)
+	for w := 0; w < 3; w++ {
+		c.Install(0, w, uint64(w))
+	}
+	way, ok := c.Victim(0, nil)
+	if !ok || way != 3 {
+		t.Fatalf("victim = %d, want the invalid way 3", way)
+	}
+}
+
+func TestLRUVictimEvictsOldest(t *testing.T) {
+	c := newTestCache(t)
+	for w := 0; w < 4; w++ {
+		c.Install(0, w, uint64(w))
+	}
+	// Touch everything except way 2.
+	c.Touch(0, 0)
+	c.Touch(0, 1)
+	c.Touch(0, 3)
+	way, ok := c.Victim(0, nil)
+	if !ok || way != 2 {
+		t.Fatalf("victim = %d, want LRU way 2", way)
+	}
+}
+
+func TestLRUVictimSkipsDisabled(t *testing.T) {
+	c := newTestCache(t)
+	for w := 0; w < 4; w++ {
+		c.Install(0, w, uint64(w))
+	}
+	c.Entry(0, 1).Disabled = true // way 1 would otherwise be... make it LRU
+	way, ok := c.Victim(0, nil)
+	if !ok || way == 1 {
+		t.Fatalf("victim = %d; disabled way must be skipped", way)
+	}
+}
+
+func TestVictimNoneWhenAllDisabled(t *testing.T) {
+	c := newTestCache(t)
+	for w := 0; w < 4; w++ {
+		c.Entry(0, w).Disabled = true
+	}
+	if _, ok := c.Victim(0, nil); ok {
+		t.Fatal("victim found in fully disabled set")
+	}
+}
+
+func TestVictimPanicsOnDisabledPick(t *testing.T) {
+	c := newTestCache(t)
+	c.Entry(0, 0).Disabled = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("picking a disabled victim did not panic")
+		}
+	}()
+	c.Victim(0, func(entries []Entry) int { return 0 })
+}
+
+func TestInstallPanicsOnDisabled(t *testing.T) {
+	c := newTestCache(t)
+	c.Entry(0, 0).Disabled = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("install into disabled line did not panic")
+		}
+	}()
+	c.Install(0, 0, 1)
+}
+
+func TestInstallPreservesClass(t *testing.T) {
+	c := newTestCache(t)
+	c.Entry(0, 0).Class = 2
+	c.Install(0, 0, 5)
+	if c.Entry(0, 0).Class != 2 {
+		t.Fatal("Install clobbered Class; DFH must persist across data installs")
+	}
+}
+
+func TestCustomVictimFunc(t *testing.T) {
+	c := newTestCache(t)
+	for w := 0; w < 4; w++ {
+		c.Install(0, w, uint64(w))
+		c.Entry(0, w).Class = w
+	}
+	// Priority: highest class first (a stand-in for Killi's b'01 > b'00 > b'10).
+	pick := func(entries []Entry) int {
+		best, bestClass := -1, -1
+		for w := range entries {
+			if entries[w].Disabled {
+				continue
+			}
+			if entries[w].Class > bestClass {
+				best, bestClass = w, entries[w].Class
+			}
+		}
+		return best
+	}
+	way, ok := c.Victim(0, pick)
+	if !ok || way != 3 {
+		t.Fatalf("custom victim = %d, want 3", way)
+	}
+}
+
+func TestEnabledWaysAndDisabledLines(t *testing.T) {
+	c := newTestCache(t)
+	c.Entry(0, 0).Disabled = true
+	c.Entry(3, 2).Disabled = true
+	if c.EnabledWays(0) != 3 {
+		t.Fatalf("EnabledWays = %d", c.EnabledWays(0))
+	}
+	if c.DisabledLines() != 2 {
+		t.Fatalf("DisabledLines = %d", c.DisabledLines())
+	}
+}
+
+func TestLineIDDense(t *testing.T) {
+	c := newTestCache(t)
+	seen := map[int]bool{}
+	c.ForEach(func(set, way int, e *Entry) {
+		id := c.LineID(set, way)
+		if id < 0 || id >= c.Config().Lines() || seen[id] {
+			t.Fatalf("LineID(%d,%d)=%d invalid", set, way, id)
+		}
+		seen[id] = true
+	})
+	if len(seen) != c.Config().Lines() {
+		t.Fatal("LineID not a bijection")
+	}
+}
+
+func TestLRUStressProperty(t *testing.T) {
+	// Model check against a reference LRU implementation.
+	c := New(Config{Sets: 1, Ways: 4, LineBytes: 64})
+	r := xrand.New(1)
+	type ref struct{ order []uint64 } // most recent last
+	var m ref
+	refTouch := func(tag uint64) {
+		for i, t := range m.order {
+			if t == tag {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.order = append(m.order, tag)
+	}
+	for step := 0; step < 10000; step++ {
+		tag := uint64(r.Intn(8))
+		if way, hit := c.Lookup(0, tag); hit {
+			c.Touch(0, way)
+			refTouch(tag)
+			continue
+		}
+		way, ok := c.Victim(0, nil)
+		if !ok {
+			t.Fatal("no victim")
+		}
+		if c.Entry(0, way).Valid {
+			// Must be the reference's LRU (front).
+			if c.Entry(0, way).Tag != m.order[0] {
+				t.Fatalf("step %d: evicted %d, reference LRU %d", step, c.Entry(0, way).Tag, m.order[0])
+			}
+			m.order = m.order[1:]
+		}
+		c.Install(0, way, tag)
+		refTouch(tag)
+		if len(m.order) > 4 {
+			t.Fatal("reference model overflow")
+		}
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Config{Sets: 2048, Ways: 16, LineBytes: 64})
+	for w := 0; w < 16; w++ {
+		c.Install(0, w, uint64(w))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Lookup(0, uint64(i&15))
+	}
+}

@@ -1,0 +1,366 @@
+package bch
+
+import (
+	"fmt"
+
+	"killi/internal/bitvec"
+)
+
+// Status classifies a decode outcome.
+type Status int
+
+const (
+	// OK: no error detected.
+	OK Status = iota
+	// Corrected: up to t errors were located and corrected in place.
+	Corrected
+	// DetectedUncorrectable: more errors than the code can correct were
+	// detected; the data cannot be trusted.
+	DetectedUncorrectable
+)
+
+// String returns a short human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DetectedUncorrectable:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("bch.Status(%d)", int(s))
+	}
+}
+
+// Result reports the outcome of a decode.
+type Result struct {
+	Status Status
+	// DataBitsFlipped lists data-bit indexes that were corrected.
+	// Corrections confined to checkbits do not appear here.
+	DataBitsFlipped []int
+	// CheckBitsFlipped counts corrected errors that fell in the checkbit
+	// region.
+	CheckBitsFlipped int
+}
+
+// Code is a binary primitive BCH code shortened to k data bits, correcting
+// up to t errors, with an optional extended overall-parity bit for one
+// extra bit of detection (e.g. DECTED = t=2 extended). The zero value is
+// unusable; construct with New.
+type Code struct {
+	f        *Field
+	t        int
+	k        int
+	gen      []byte // generator polynomial over GF(2); gen[i] = coeff of x^i
+	degG     int
+	extended bool
+}
+
+// New returns a BCH code over GF(2^m) correcting t errors, shortened to k
+// data bits. If extended is true, one overall parity bit is appended to the
+// checkbits, upgrading detection from 2t to 2t+1 errors. It panics if the
+// parameters do not fit (k + deg(g) must be ≤ 2^m - 1).
+func New(m, t, k int, extended bool) *Code {
+	if t < 1 {
+		panic("bch: t must be >= 1")
+	}
+	if k < 1 {
+		panic("bch: k must be >= 1")
+	}
+	f := NewField(m)
+	gen := generator(f, t)
+	degG := len(gen) - 1
+	if k+degG > f.n {
+		panic(fmt.Sprintf("bch: k=%d + checkbits=%d exceeds n=%d for m=%d", k, degG, f.n, m))
+	}
+	return &Code{f: f, t: t, k: k, gen: gen, degG: degG, extended: extended}
+}
+
+// NewLine returns the standard cache-line instantiation: GF(2^10), 512 data
+// bits, correcting t errors, extended.
+//
+//	t=2 → DECTED (21 checkbits), t=3 → TECQED (31), t=6 → 6EC7ED (61)
+func NewLine(t int) *Code { return New(10, t, bitvec.LineBits, true) }
+
+// generator returns the generator polynomial g(x) over GF(2) for a t-error-
+// correcting primitive BCH code: the least common multiple of the minimal
+// polynomials of α, α^2, …, α^2t. Because conjugates share a minimal
+// polynomial, it suffices to take distinct cyclotomic cosets.
+func generator(f *Field, t int) []byte {
+	covered := make(map[int]bool)
+	g := []byte{1}
+	for s := 1; s <= 2*t; s++ {
+		if covered[s] {
+			continue
+		}
+		// Cyclotomic coset of s: {s, 2s, 4s, ...} mod n.
+		coset := []int{}
+		for c := s; !covered[c]; c = (2 * c) % f.n {
+			covered[c] = true
+			coset = append(coset, c)
+		}
+		// Minimal polynomial: Π (x + α^c), computed in GF(2^m); the result
+		// has all coefficients in {0,1}.
+		mp := []uint32{1}
+		for _, c := range coset {
+			root := f.Pow(c)
+			next := make([]uint32, len(mp)+1)
+			for i, coef := range mp {
+				next[i+1] ^= coef            // x * mp
+				next[i] ^= f.Mul(coef, root) // root * mp
+			}
+			mp = next
+		}
+		// Multiply g by mp over GF(2).
+		mpBits := make([]byte, len(mp))
+		for i, coef := range mp {
+			if coef > 1 {
+				panic("bch: minimal polynomial has non-binary coefficient")
+			}
+			mpBits[i] = byte(coef)
+		}
+		g = polyMulGF2(g, mpBits)
+	}
+	return g
+}
+
+// polyMulGF2 multiplies two polynomials over GF(2).
+func polyMulGF2(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= bj
+		}
+	}
+	return out
+}
+
+// DataBits returns k, the number of data bits.
+func (c *Code) DataBits() int { return c.k }
+
+// T returns the error-correction strength.
+func (c *Code) T() int { return c.t }
+
+// CheckBits returns the number of checkbits, including the extension bit
+// when present (21 for NewLine(2)).
+func (c *Code) CheckBits() int {
+	if c.extended {
+		return c.degG + 1
+	}
+	return c.degG
+}
+
+// Extended reports whether the code carries an overall parity bit.
+func (c *Code) Extended() bool { return c.extended }
+
+// Check holds the stored checkbits: Bits is degG parity bits (bit i of the
+// vector = codeword coefficient of x^i); Global is the extension parity bit
+// (always 0 when the code is not extended).
+type Check struct {
+	Bits   *bitvec.Vector
+	Global uint
+}
+
+// Encode computes the checkbits for data systematically: the codeword is
+// x^degG·d(x) + ((x^degG·d(x)) mod g(x)), so data occupies the high
+// coefficient positions and the remainder forms the checkbits.
+func (c *Code) Encode(data *bitvec.Vector) Check {
+	if data.Len() != c.k {
+		panic(fmt.Sprintf("bch: Encode data width %d, want %d", data.Len(), c.k))
+	}
+	// LFSR division of x^degG·d(x) by g(x). Feed data MSB-first (highest
+	// codeword coefficient first).
+	reg := make([]byte, c.degG)
+	for i := c.k - 1; i >= 0; i-- {
+		fb := byte(data.Bit(i)) ^ reg[c.degG-1]
+		copy(reg[1:], reg[:c.degG-1])
+		reg[0] = 0
+		if fb == 1 {
+			for j := 0; j < c.degG; j++ {
+				reg[j] ^= c.gen[j]
+			}
+		}
+	}
+	check := Check{Bits: bitvec.NewVector(c.degG)}
+	ones := 0
+	for i, b := range reg {
+		if b == 1 {
+			check.Bits.SetBit(i, 1)
+			ones++
+		}
+	}
+	if c.extended {
+		check.Global = uint(data.PopCount()+ones) & 1
+	}
+	return check
+}
+
+// codewordBit returns coefficient i of the received codeword assembled from
+// data and stored checkbits: positions [0, degG) are checkbits, positions
+// [degG, degG+k) are data bits.
+func (c *Code) codewordBit(data *bitvec.Vector, check Check, i int) uint {
+	if i < c.degG {
+		return check.Bits.Bit(i)
+	}
+	return data.Bit(i - c.degG)
+}
+
+// syndromes returns S_1..S_2t, where S_j = r(α^j) over the received
+// codeword r.
+func (c *Code) syndromes(data *bitvec.Vector, check Check) []uint32 {
+	syn := make([]uint32, 2*c.t)
+	// Collect the set coefficient positions once (ones are typically ~50%
+	// of the codeword for random data).
+	positions := check.Bits.OneBits()
+	for _, p := range data.OneBits() {
+		positions = append(positions, p+c.degG)
+	}
+	for j := 1; j <= 2*c.t; j++ {
+		var s uint32
+		for _, p := range positions {
+			s ^= c.f.Pow(p * j)
+		}
+		syn[j-1] = s
+	}
+	return syn
+}
+
+// berlekampMassey returns the error-locator polynomial σ(x) (σ[0] = 1) for
+// the given syndromes.
+func (c *Code) berlekampMassey(syn []uint32) []uint32 {
+	f := c.f
+	sigma := []uint32{1}
+	b := []uint32{1}
+	L, mShift := 0, 1
+	var bCoef uint32 = 1
+	for n := 0; n < len(syn); n++ {
+		// Discrepancy d = S_n + Σ σ_i · S_{n-i}.
+		d := syn[n]
+		for i := 1; i <= L && i < len(sigma); i++ {
+			d ^= f.Mul(sigma[i], syn[n-i])
+		}
+		if d == 0 {
+			mShift++
+			continue
+		}
+		if 2*L <= n {
+			tPoly := append([]uint32(nil), sigma...)
+			coef := f.Div(d, bCoef)
+			sigma = polyAddScaledShift(f, sigma, b, coef, mShift)
+			b = tPoly
+			L = n + 1 - L
+			bCoef = d
+			mShift = 1
+		} else {
+			coef := f.Div(d, bCoef)
+			sigma = polyAddScaledShift(f, sigma, b, coef, mShift)
+			mShift++
+		}
+	}
+	// Trim trailing zeros.
+	for len(sigma) > 1 && sigma[len(sigma)-1] == 0 {
+		sigma = sigma[:len(sigma)-1]
+	}
+	return sigma
+}
+
+// polyAddScaledShift returns a + coef·x^shift·b over GF(2^m).
+func polyAddScaledShift(f *Field, a, b []uint32, coef uint32, shift int) []uint32 {
+	n := len(b) + shift
+	if len(a) > n {
+		n = len(a)
+	}
+	out := make([]uint32, n)
+	copy(out, a)
+	for i, bi := range b {
+		out[i+shift] ^= f.Mul(coef, bi)
+	}
+	return out
+}
+
+// chien locates error positions by searching for roots of σ over the
+// shortened codeword positions [0, degG+k). A root of σ at x = α^{-p}
+// marks an error at coefficient position p. The second return value is
+// false if any root falls outside the shortened range or the root count
+// does not match deg σ (decoder failure → detected uncorrectable).
+func (c *Code) chien(sigma []uint32) ([]int, bool) {
+	degSigma := len(sigma) - 1
+	if degSigma == 0 {
+		return nil, true
+	}
+	nTotal := c.degG + c.k
+	positions := make([]int, 0, degSigma)
+	for p := 0; p < c.f.n; p++ {
+		if c.f.PolyEval(sigma, c.f.Pow(-p)) == 0 {
+			if p >= nTotal {
+				return nil, false // error located in the shortened (absent) region
+			}
+			positions = append(positions, p)
+			if len(positions) > degSigma {
+				return nil, false
+			}
+		}
+	}
+	if len(positions) != degSigma {
+		return nil, false
+	}
+	return positions, true
+}
+
+// Decode checks data against the stored checkbits, correcting up to t
+// errors in place. With the extended parity bit, a (t+1)-error pattern that
+// would otherwise alias to a ≤t-error correction of the wrong parity is
+// flagged as uncorrectable instead.
+func (c *Code) Decode(data *bitvec.Vector, check Check) Result {
+	if data.Len() != c.k {
+		panic(fmt.Sprintf("bch: Decode data width %d, want %d", data.Len(), c.k))
+	}
+	syn := c.syndromes(data, check)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	parityMismatch := false
+	if c.extended {
+		got := uint(data.PopCount()+check.Bits.PopCount()) & 1
+		parityMismatch = got != check.Global&1
+	}
+	if allZero {
+		if parityMismatch {
+			// Single flip of the stored extension bit itself (or an even
+			// aliasing pattern): correct by trusting the zero syndromes.
+			return Result{Status: Corrected, CheckBitsFlipped: 1}
+		}
+		return Result{Status: OK}
+	}
+	sigma := c.berlekampMassey(syn)
+	if len(sigma)-1 > c.t {
+		return Result{Status: DetectedUncorrectable}
+	}
+	positions, ok := c.chien(sigma)
+	if !ok {
+		return Result{Status: DetectedUncorrectable}
+	}
+	if c.extended && (len(positions)&1 == 1) != parityMismatch {
+		// The corrected-error count disagrees with the overall parity:
+		// at least 2t+1 errors are present.
+		return Result{Status: DetectedUncorrectable}
+	}
+	res := Result{Status: Corrected}
+	for _, p := range positions {
+		if p < c.degG {
+			res.CheckBitsFlipped++
+		} else {
+			data.FlipBit(p - c.degG)
+			res.DataBitsFlipped = append(res.DataBitsFlipped, p-c.degG)
+		}
+	}
+	return res
+}

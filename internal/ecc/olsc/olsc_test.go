@@ -1,0 +1,228 @@
+package olsc
+
+import (
+	"testing"
+
+	"killi/internal/bitvec"
+	"killi/internal/xrand"
+)
+
+func randomVector(r *xrand.Rand, n int) *bitvec.Vector {
+	v := bitvec.NewVector(n)
+	for i := 0; i < n; i++ {
+		v.SetBit(i, uint(r.Uint64()&1))
+	}
+	return v
+}
+
+func TestMSECCConfiguration(t *testing.T) {
+	// MS-ECC: correct up to 11 errors in a 64B line, costing about half
+	// the line in checkbits.
+	c := NewLine(11)
+	if c.M() != 23 {
+		t.Fatalf("m = %d, want 23 (smallest prime with m²≥512, m+1≥22)", c.M())
+	}
+	if c.CheckBits() != 506 {
+		t.Fatalf("checkbits = %d, want 506", c.CheckBits())
+	}
+}
+
+func TestOrthogonality(t *testing.T) {
+	// Any two groups from different families must share at most one data
+	// bit — the property that makes one-step majority decoding sound.
+	c := New(512, 4)
+	for f1 := range c.groups {
+		for f2 := f1 + 1; f2 < len(c.groups); f2++ {
+			for _, g1 := range c.groups[f1] {
+				for _, g2 := range c.groups[f2] {
+					shared := 0
+					inG2 := make(map[int]bool, len(g2))
+					for _, idx := range g2 {
+						inG2[idx] = true
+					}
+					for _, idx := range g1 {
+						if inG2[idx] {
+							shared++
+						}
+					}
+					if shared > 1 {
+						t.Fatalf("families %d,%d share %d bits in one group pair", f1, f2, shared)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEachBitHas2TGroups(t *testing.T) {
+	c := New(512, 11)
+	for idx, groups := range c.bitGroups {
+		if len(groups) != 2*c.t {
+			t.Fatalf("bit %d covered by %d groups, want %d", idx, len(groups), 2*c.t)
+		}
+	}
+}
+
+func TestCleanDecode(t *testing.T) {
+	c := NewLine(11)
+	r := xrand.New(1)
+	for trial := 0; trial < 20; trial++ {
+		data := randomVector(r, 512)
+		check := c.Encode(data)
+		if res := c.Decode(data, check); res.Status != OK {
+			t.Fatalf("clean decode: %v", res.Status)
+		}
+	}
+}
+
+func TestCorrectUpToT(t *testing.T) {
+	for _, tt := range []int{1, 2, 4, 11} {
+		c := NewLine(tt)
+		r := xrand.New(uint64(tt))
+		for e := 1; e <= tt; e++ {
+			for trial := 0; trial < 5; trial++ {
+				data := randomVector(r, 512)
+				check := c.Encode(data)
+				orig := data.Clone()
+				for _, b := range r.Sample(512, e) {
+					data.FlipBit(b)
+				}
+				res := c.Decode(data, check)
+				if res.Status != Corrected {
+					t.Fatalf("t=%d e=%d: status %v", tt, e, res.Status)
+				}
+				if !data.Equal(orig) {
+					t.Fatalf("t=%d e=%d: data not restored", tt, e)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckbitErrorsTolerated(t *testing.T) {
+	c := NewLine(11)
+	r := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		data := randomVector(r, 512)
+		check := c.Encode(data)
+		orig := data.Clone()
+		// A few checkbit flips plus a few data flips, total ≤ t.
+		for _, b := range r.Sample(check.Len(), 3) {
+			check.FlipBit(b)
+		}
+		for _, b := range r.Sample(512, 5) {
+			data.FlipBit(b)
+		}
+		res := c.Decode(data, check)
+		if res.Status != Corrected {
+			t.Fatalf("status %v", res.Status)
+		}
+		if !data.Equal(orig) {
+			t.Fatal("data not restored")
+		}
+		if res.CheckGroupErrors != 3 {
+			t.Fatalf("check group errors = %d, want 3", res.CheckGroupErrors)
+		}
+	}
+}
+
+func TestMassiveErrorsDetected(t *testing.T) {
+	// Far more errors than t must not decode as OK. (They may in rare
+	// patterns miscorrect — that is inherent to any bounded-distance
+	// decoder — but the common case is detection.)
+	c := NewLine(4)
+	r := xrand.New(3)
+	detected := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		data := randomVector(r, 512)
+		check := c.Encode(data)
+		for _, b := range r.Sample(512, 40) {
+			data.FlipBit(b)
+		}
+		res := c.Decode(data, check)
+		if res.Status == OK {
+			t.Fatal("40 errors decoded as OK")
+		}
+		if res.Status == DetectedUncorrectable {
+			detected++
+		}
+	}
+	if detected < trials*9/10 {
+		t.Fatalf("only %d/%d massive-error patterns detected", detected, trials)
+	}
+}
+
+func TestSmallCode(t *testing.T) {
+	c := New(9, 1) // m=3 grid, single correction
+	if c.M() != 3 || c.CheckBits() != 6 {
+		t.Fatalf("m=%d check=%d", c.M(), c.CheckBits())
+	}
+	r := xrand.New(4)
+	for trial := 0; trial < 50; trial++ {
+		data := randomVector(r, 9)
+		check := c.Encode(data)
+		orig := data.Clone()
+		data.FlipBit(r.Intn(9))
+		if res := c.Decode(data, check); res.Status != Corrected || !data.Equal(orig) {
+			t.Fatalf("small code: %+v", res)
+		}
+	}
+}
+
+func TestNonSquareK(t *testing.T) {
+	// k=512 on a 23×23 grid leaves 17 unused cells; they must be
+	// handled as implicit zeros.
+	c := New(500, 3)
+	r := xrand.New(5)
+	data := randomVector(r, 500)
+	check := c.Encode(data)
+	orig := data.Clone()
+	for _, b := range r.Sample(500, 3) {
+		data.FlipBit(b)
+	}
+	if res := c.Decode(data, check); res.Status != Corrected || !data.Equal(orig) {
+		t.Fatalf("shortened code: %+v", res)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k=0":         func() { New(0, 1) },
+		"t=0":         func() { New(9, 0) },
+		"enc width":   func() { New(9, 1).Encode(bitvec.NewVector(4)) },
+		"dec width":   func() { New(9, 1).Decode(bitvec.NewVector(4), bitvec.NewVector(6)) },
+		"check width": func() { New(9, 1).Decode(bitvec.NewVector(9), bitvec.NewVector(7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		DetectedUncorrectable.String() != "detected-uncorrectable" ||
+		Status(7).String() != "olsc.Status(7)" {
+		t.Fatal("status names wrong")
+	}
+}
+
+func BenchmarkDecodeMSECC(b *testing.B) {
+	c := NewLine(11)
+	r := xrand.New(6)
+	data := randomVector(r, 512)
+	check := c.Encode(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := data.Clone()
+		d.FlipBit(17)
+		d.FlipBit(300)
+		_ = c.Decode(d, check)
+	}
+}

@@ -1,0 +1,103 @@
+// Package energy computes L2-subsystem energy from simulation activity —
+// the empirical counterpart of analytic.Table6's calibrated power model.
+//
+// Every counted event (data-array accesses, ECC cache touches, DRAM
+// transfers) is charged a per-event energy at nominal voltage; array events
+// scale with V² when the data array is undervolted, while the ECC cache,
+// tag logic, and DRAM stay at nominal (the paper's dual-rail design,
+// §2.4). Leakage is charged per cycle, scaling linearly with voltage.
+//
+// The absolute unit is arbitrary (one 64-byte nominal-voltage array read
+// = 1); only ratios are meaningful, exactly as in the paper's Table 6.
+package energy
+
+import "killi/internal/gpu"
+
+// Costs are per-event energies at nominal voltage, in units of one
+// nominal-voltage 64-byte data-array read.
+type Costs struct {
+	// L2Access is one data-array read or write (512 bits).
+	L2Access float64
+	// ECCEntryAccess is one ECC cache touch (41-bit entry: tag + data).
+	ECCEntryAccess float64
+	// CodecOp is one encoder/decoder pass (SECDED/parity class).
+	CodecOp float64
+	// DRAMAccess is one line transfer to/from memory.
+	DRAMAccess float64
+	// LeakPerKCycle is array leakage per thousand cycles at nominal
+	// voltage.
+	LeakPerKCycle float64
+}
+
+// DefaultCosts returns plausible relative energies: the 41-bit ECC cache
+// entry costs ~8 % of a 512-bit line access, a codec pass ~5 %, a DRAM
+// line transfer ~20× an array access.
+func DefaultCosts() Costs {
+	return Costs{
+		L2Access:       1.0,
+		ECCEntryAccess: 0.08,
+		CodecOp:        0.05,
+		DRAMAccess:     20.0,
+		LeakPerKCycle:  1.0,
+	}
+}
+
+// Breakdown is the energy split for one run.
+type Breakdown struct {
+	Array   float64 // data-array dynamic energy (V²-scaled)
+	ECC     float64 // ECC cache + codec energy (nominal rail)
+	DRAM    float64 // memory traffic energy
+	Leakage float64 // array leakage (V-scaled)
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.Array + b.ECC + b.DRAM + b.Leakage }
+
+// Subsystem returns the L2-subsystem energy (array + ECC + leakage),
+// excluding memory traffic — the scope of the paper's Table 6, which adds
+// back only the traffic a scheme *causes* (see Table6Percent).
+func (b Breakdown) Subsystem() float64 { return b.Array + b.ECC + b.Leakage }
+
+// FromRun charges a run's activity counters at data-array voltage vNorm.
+func FromRun(res gpu.Result, vNorm float64, c Costs) Breakdown {
+	ctr := res.Counters
+	arrayEvents := float64(res.L2Accesses) + // reads (tag+data)
+		float64(ctr.Get("l2.write_updates")) +
+		float64(ctr.Get("l2.evictions")) // eviction readout (training)
+	codecEvents := float64(res.L2Accesses) + // parity/ECC check per access
+		float64(ctr.Get("killi.corrected_reads")) +
+		float64(ctr.Get("killi.inverted_checks"))*2 // extra write+read pass
+	eccEvents := float64(ctr.Get("killi.ecc_accesses"))
+
+	return Breakdown{
+		Array:   arrayEvents * c.L2Access * vNorm * vNorm,
+		ECC:     eccEvents*c.ECCEntryAccess + codecEvents*c.CodecOp,
+		DRAM:    float64(res.MemAccesses) * c.DRAMAccess,
+		Leakage: float64(res.Cycles) / 1000 * c.LeakPerKCycle * vNorm,
+	}
+}
+
+// NormalizedPercent expresses a run's total energy (memory traffic
+// included) relative to a baseline run, as a percentage.
+func NormalizedPercent(run, baseline Breakdown) float64 {
+	if baseline.Total() == 0 {
+		return 0
+	}
+	return run.Total() / baseline.Total() * 100
+}
+
+// Table6Percent is the paper's Table 6 metric computed from activity: the
+// run's L2-subsystem energy plus only the memory traffic it causes beyond
+// the baseline ("memory accesses on account of cache misses due to
+// contention in the ECC cache"), normalized to the baseline's subsystem
+// energy.
+func Table6Percent(run, baseline Breakdown) float64 {
+	if baseline.Subsystem() == 0 {
+		return 0
+	}
+	extraDRAM := run.DRAM - baseline.DRAM
+	if extraDRAM < 0 {
+		extraDRAM = 0
+	}
+	return (run.Subsystem() + extraDRAM) / baseline.Subsystem() * 100
+}

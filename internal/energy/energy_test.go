@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"testing"
+
+	"killi/internal/gpu"
+	"killi/internal/killi"
+	"killi/internal/protection"
+	"killi/internal/workload"
+)
+
+func run(t *testing.T, v float64, scheme protection.Scheme, warm int) gpu.Result {
+	t.Helper()
+	cfg := gpu.DefaultConfig()
+	cfg.L2Bytes = 128 << 10
+	cfg.Voltage = v
+	w, err := workload.ByName("nekbone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := w.Traces(cfg.CUs, 2500, 3)
+	sys := gpu.New(cfg, scheme)
+	for i := 0; i < warm; i++ {
+		sys.Run(traces)
+	}
+	return sys.Run(traces)
+}
+
+func TestUndervoltingSavesEnergy(t *testing.T) {
+	// The headline, from activity: Killi at 0.625×VDD burns materially
+	// less L2 energy than the fault-free baseline at nominal voltage on
+	// the same (steady-state) kernel.
+	c := DefaultCosts()
+	base := FromRun(run(t, 1.0, protection.NewNone(), 1), 1.0, c)
+	lv := FromRun(run(t, 0.625, killi.New(killi.Config{Ratio: 64}), 1), 0.625, c)
+	pct := Table6Percent(lv, base)
+	if pct >= 80 {
+		t.Fatalf("LV subsystem energy = %.1f%% of nominal; undervolting saved almost nothing", pct)
+	}
+	if pct <= 30 {
+		t.Fatalf("LV subsystem energy = %.1f%%; below the V² floor", pct)
+	}
+	// The all-in ratio (common DRAM traffic included) is necessarily
+	// closer to 100%.
+	if all := NormalizedPercent(lv, base); all <= pct {
+		t.Fatalf("total ratio %.1f%% below subsystem ratio %.1f%%", all, pct)
+	}
+}
+
+func TestECCEnergyScalesWithECCCacheSize(t *testing.T) {
+	// A busier ECC cache burns more ECC energy during training.
+	c := DefaultCosts()
+	small := FromRun(run(t, 0.625, killi.New(killi.Config{Ratio: 256}), 0), 0.625, c)
+	if small.ECC <= 0 {
+		t.Fatal("no ECC energy recorded for Killi")
+	}
+	none := FromRun(run(t, 1.0, protection.NewNone(), 0), 1.0, c)
+	if none.ECC >= small.ECC {
+		t.Fatal("baseline shows more ECC energy than Killi")
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	c := DefaultCosts()
+	b := FromRun(run(t, 0.625, killi.New(killi.Config{Ratio: 64}), 0), 0.625, c)
+	if b.Array <= 0 || b.DRAM <= 0 || b.Leakage <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", b)
+	}
+	if b.Total() != b.Array+b.ECC+b.DRAM+b.Leakage {
+		t.Fatal("Total does not sum components")
+	}
+}
+
+func TestNormalizedPercentEdge(t *testing.T) {
+	if NormalizedPercent(Breakdown{Array: 1}, Breakdown{}) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestVoltageScalingDirection(t *testing.T) {
+	// The same activity charged at lower voltage must cost less.
+	res := run(t, 0.625, killi.New(killi.Config{Ratio: 64}), 0)
+	c := DefaultCosts()
+	lo := FromRun(res, 0.625, c)
+	hi := FromRun(res, 1.0, c)
+	if lo.Array >= hi.Array || lo.Leakage >= hi.Leakage {
+		t.Fatal("voltage scaling inverted")
+	}
+	if lo.DRAM != hi.DRAM || lo.ECC != hi.ECC {
+		t.Fatal("nominal-rail components must not scale with array voltage")
+	}
+}

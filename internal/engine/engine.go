@@ -1,0 +1,88 @@
+// Package engine provides the discrete-event simulation kernel: a clock and
+// an event queue with deterministic same-cycle ordering.
+//
+// The GPU memory-hierarchy model is expressed as events (request issue,
+// bank response, DRAM completion) scheduled at future cycles. Determinism
+// matters: two events at the same cycle fire in scheduling order, so a
+// simulation configuration plus a seed fully determines every statistic.
+package engine
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator clock. The zero value is ready to
+// use at cycle 0.
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Schedule runs fn delay cycles from now. A delay of 0 runs fn later in the
+// current cycle, after already-queued same-cycle events.
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step fires the next event, advancing the clock to its cycle. It returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains, returning the final cycle.
+func (e *Engine) Run() uint64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events up to and including cycle limit, returning true if
+// the queue drained (false means the limit cut the run short).
+func (e *Engine) RunUntil(limit uint64) bool {
+	for len(e.events) > 0 {
+		if e.events[0].when > limit {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package engine
+
+import "testing"
+
+func TestZeroValueUsable(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatal("zero engine not at cycle 0")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	final := e.Run()
+	if final != 30 {
+		t.Fatalf("final cycle %d", final)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var hits []uint64
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(4, func() {
+			hits = append(hits, e.Now())
+			e.Schedule(0, func() { hits = append(hits, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []uint64{1, 5, 5}
+	if len(hits) != 3 || hits[0] != want[0] || hits[1] != want[1] || hits[2] != want[2] {
+		t.Fatalf("hits %v, want %v", hits, want)
+	}
+}
+
+func TestZeroDelayRunsAfterQueuedSameCycle(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(0, func() { order = append(order, 1) })
+	e.Schedule(0, func() { order = append(order, 2) })
+	e.Run()
+	if order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	if e.RunUntil(15) {
+		t.Fatal("RunUntil reported drain with a pending event")
+	}
+	if fired != 1 || e.Now() != 10 {
+		t.Fatalf("fired=%d now=%d", fired, e.Now())
+	}
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil did not drain")
+	}
+	if fired != 2 {
+		t.Fatalf("fired=%d", fired)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	var e Engine
+	last := uint64(0)
+	for i := 0; i < 100; i++ {
+		d := uint64(i % 7)
+		e.Schedule(d, func() {
+			if e.Now() < last {
+				t.Fatal("clock went backwards")
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 100; j++ {
+			e.Schedule(uint64(j%13), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,208 @@
+// Package experiments assembles the paper's simulation-driven evaluation
+// (Figures 4 and 5): workload × protection-scheme sweeps over the GPU
+// model, with execution time normalized to the fault-free nominal-voltage
+// baseline and L2 MPKI per configuration.
+//
+// The package is shared by cmd/killi-sim and the repository's benchmark
+// harness so both print identical rows.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"killi/internal/gpu"
+	"killi/internal/killi"
+	"killi/internal/protection"
+	"killi/internal/workload"
+)
+
+// KilliRatios are the ECC cache sizes the paper sweeps.
+var KilliRatios = []int{256, 128, 64, 32, 16}
+
+// SchemeSpec names a protection scheme and builds fresh instances
+// (schemes carry per-run state, so every simulation needs its own).
+type SchemeSpec struct {
+	Name string
+	New  func() protection.Scheme
+}
+
+// Schemes returns the paper's comparison set: DECTED-per-line, FLAIR,
+// MS-ECC, and Killi at each ECC cache ratio.
+func Schemes() []SchemeSpec {
+	specs := []SchemeSpec{
+		{Name: "dected", New: func() protection.Scheme { return protection.NewDECTEDPerLine() }},
+		{Name: "flair", New: func() protection.Scheme { return protection.NewFLAIR() }},
+		{Name: "msecc", New: func() protection.Scheme { return protection.NewMSECC() }},
+	}
+	for _, r := range KilliRatios {
+		r := r
+		specs = append(specs, SchemeSpec{
+			Name: fmt.Sprintf("killi-1:%d", r),
+			New:  func() protection.Scheme { return killi.New(killi.Config{Ratio: r}) },
+		})
+	}
+	return specs
+}
+
+// SchemeByName builds a fresh protection scheme from a stable name:
+// "none", "secded", "dected", "flair", "msecc", or "killi-1:<ratio>"
+// (optionally prefixed "killi-dected-" for the §5.2 extension).
+func SchemeByName(name string) (protection.Scheme, error) {
+	switch name {
+	case "none":
+		return protection.NewNone(), nil
+	case "secded":
+		return protection.NewSECDEDPerLine(), nil
+	case "dected":
+		return protection.NewDECTEDPerLine(), nil
+	case "flair":
+		return protection.NewFLAIR(), nil
+	case "msecc":
+		return protection.NewMSECC(), nil
+	}
+	var ratio, strength int
+	if _, err := fmt.Sscanf(name, "killi-dected-1:%d", &ratio); err == nil && ratio > 0 {
+		return killi.New(killi.Config{Ratio: ratio, UseDECTED: true}), nil
+	}
+	if _, err := fmt.Sscanf(name, "killi-olsc%d-1:%d", &strength, &ratio); err == nil && strength > 0 && ratio > 0 {
+		return killi.New(killi.Config{Ratio: ratio, OLSCStrength: strength}), nil
+	}
+	if _, err := fmt.Sscanf(name, "killi-1:%d", &ratio); err == nil && ratio > 0 {
+		return killi.New(killi.Config{Ratio: ratio}), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+}
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Voltage is the LV operating point (paper: 0.625).
+	Voltage float64
+	// RequestsPerCU is the trace length per compute unit.
+	RequestsPerCU int
+	// Seed drives trace generation and fault sampling.
+	Seed uint64
+	// GPU overrides the base GPU configuration (zero value = Table 3).
+	GPU *gpu.Config
+	// Workloads restricts the sweep (nil = the full ten-workload catalog).
+	Workloads []string
+	// WarmupKernels runs the trace this many times before the measured
+	// run. DFH state persists across kernels (the paper trains once per
+	// reset, not per kernel), so warmups exclude one-time training cost
+	// from the measurement — the steady state the paper's long kernels
+	// reach on their own. Zero measures the first kernel, training
+	// included.
+	WarmupKernels int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Voltage == 0 {
+		c.Voltage = 0.625
+	}
+	if c.RequestsPerCU == 0 {
+		c.RequestsPerCU = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Workloads) == 0 {
+		for _, w := range workload.Catalog() {
+			c.Workloads = append(c.Workloads, w.Name)
+		}
+	}
+	return c
+}
+
+func (c Config) baseGPU() gpu.Config {
+	if c.GPU != nil {
+		return *c.GPU
+	}
+	return gpu.DefaultConfig()
+}
+
+// Row is one workload's results across every scheme.
+type Row struct {
+	Workload string
+	Class    workload.Class
+	// BaselineCycles is the fault-free nominal-voltage execution time.
+	BaselineCycles uint64
+	// BaselineMPKI is the fault-free L2 MPKI.
+	BaselineMPKI float64
+	// Normalized maps scheme name → execution time / baseline (Figure 4).
+	Normalized map[string]float64
+	// MPKI maps scheme name → L2 MPKI (Figure 5).
+	MPKI map[string]float64
+	// Disabled maps scheme name → disabled L2 lines at run end.
+	Disabled map[string]int
+}
+
+// SchemeNames returns the row's scheme names in a stable order.
+func (r Row) SchemeNames() []string {
+	names := make([]string, 0, len(r.Normalized))
+	for n := range r.Normalized {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the full sweep: for each workload, a fault-free baseline at
+// nominal voltage plus every scheme at the LV operating point.
+func Run(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.baseGPU()
+	rows := make([]Row, 0, len(cfg.Workloads))
+	for _, name := range cfg.Workloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		traces := w.Traces(base.CUs, cfg.RequestsPerCU, cfg.Seed)
+
+		baseCfg := base
+		baseCfg.Voltage = 1.0
+		baseSys := gpu.New(baseCfg, protection.NewNone())
+		for w := 0; w < cfg.WarmupKernels; w++ {
+			baseSys.Run(traces)
+		}
+		baseRes := baseSys.Run(traces)
+
+		row := Row{
+			Workload:       w.Name,
+			Class:          w.Class,
+			BaselineCycles: baseRes.Cycles,
+			BaselineMPKI:   baseRes.MPKI(),
+			Normalized:     map[string]float64{},
+			MPKI:           map[string]float64{},
+			Disabled:       map[string]int{},
+		}
+		for _, spec := range Schemes() {
+			lvCfg := base
+			lvCfg.Voltage = cfg.Voltage
+			sys := gpu.New(lvCfg, spec.New())
+			for w := 0; w < cfg.WarmupKernels; w++ {
+				sys.Run(traces)
+			}
+			res := sys.Run(traces)
+			row.Normalized[spec.Name] = float64(res.Cycles) / float64(baseRes.Cycles)
+			row.MPKI[spec.Name] = res.MPKI()
+			row.Disabled[spec.Name] = res.DisabledLines
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunOne runs a single workload × scheme pair at the given voltage and
+// returns the raw result — the building block the examples use.
+func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage float64) (gpu.Result, error) {
+	cfg = cfg.withDefaults()
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	g := cfg.baseGPU()
+	g.Voltage = voltage
+	traces := w.Traces(g.CUs, cfg.RequestsPerCU, cfg.Seed)
+	return gpu.New(g, scheme).Run(traces), nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+
+	"killi/internal/gpu"
+	"killi/internal/protection"
+)
+
+// smallGPU shrinks the L2 for fast sweeps.
+func smallGPU() *gpu.Config {
+	cfg := gpu.DefaultConfig()
+	cfg.L2Bytes = 128 << 10
+	return &cfg
+}
+
+func TestSchemesCatalog(t *testing.T) {
+	specs := Schemes()
+	if len(specs) != 3+len(KilliRatios) {
+		t.Fatalf("scheme catalog has %d entries", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scheme %q", s.Name)
+		}
+		seen[s.Name] = true
+		inst := s.New()
+		if inst == nil {
+			t.Fatalf("%s factory returned nil", s.Name)
+		}
+		// Factories must return fresh instances.
+		if s.New() == inst {
+			t.Fatalf("%s factory reuses instances", s.Name)
+		}
+	}
+	for _, want := range []string{"dected", "flair", "msecc", "killi-1:16", "killi-1:256"} {
+		if !seen[want] {
+			t.Fatalf("scheme %q missing", want)
+		}
+	}
+}
+
+func TestRunProducesCompleteRows(t *testing.T) {
+	rows, err := Run(Config{
+		RequestsPerCU: 800,
+		Workloads:     []string{"nekbone", "xsbench"},
+		GPU:           smallGPU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaselineCycles == 0 {
+			t.Fatalf("%s: no baseline cycles", r.Workload)
+		}
+		if len(r.Normalized) != len(Schemes()) {
+			t.Fatalf("%s: %d scheme results", r.Workload, len(r.Normalized))
+		}
+		for name, norm := range r.Normalized {
+			if norm < 0.90 || norm > 3 {
+				t.Errorf("%s/%s: normalized time %.3f implausible", r.Workload, name, norm)
+			}
+			if r.MPKI[name] < 0 {
+				t.Errorf("%s/%s: negative MPKI", r.Workload, name)
+			}
+		}
+	}
+}
+
+func TestRunUnknownWorkloadErrors(t *testing.T) {
+	if _, err := Run(Config{Workloads: []string{"nope"}, GPU: smallGPU(), RequestsPerCU: 10}); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+}
+
+func TestDefaultsFillIn(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Voltage != 0.625 || cfg.RequestsPerCU == 0 || cfg.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if len(cfg.Workloads) != 10 {
+		t.Fatalf("default workloads = %d, want the full catalog", len(cfg.Workloads))
+	}
+}
+
+func TestSchemeNamesStable(t *testing.T) {
+	r := Row{Normalized: map[string]float64{"b": 1, "a": 1, "c": 1}}
+	names := r.SchemeNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	res, err := RunOne(Config{RequestsPerCU: 500, GPU: smallGPU()},
+		"lulesh", protection.NewSECDEDPerLine(), 0.625)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatal("degenerate RunOne result")
+	}
+	if _, err := RunOne(Config{GPU: smallGPU(), RequestsPerCU: 10},
+		"nope", protection.NewNone(), 1.0); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"none", "secded", "dected", "flair", "msecc", "killi-1:64", "killi-dected-1:16"} {
+		s, err := SchemeByName(name)
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", name, err)
+		}
+		if name != "none" && name != "secded" && name != "dected" && s.Name() == "" {
+			t.Fatalf("%q: empty scheme name", name)
+		}
+	}
+	for _, bad := range []string{"", "killi", "killi-1:0", "killi-1:x", "unknown"} {
+		if _, err := SchemeByName(bad); err == nil {
+			t.Fatalf("SchemeByName(%q) did not error", bad)
+		}
+	}
+}
+
+func TestSchemeByNameOLSC(t *testing.T) {
+	s, err := SchemeByName("killi-olsc11-1:2")
+	if err != nil || s.Name() != "killi-olsc11-1:2" {
+		t.Fatalf("olsc scheme: %v / %v", s, err)
+	}
+}

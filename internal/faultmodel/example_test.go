@@ -1,0 +1,22 @@
+package faultmodel_test
+
+import (
+	"fmt"
+
+	"killi/internal/faultmodel"
+)
+
+// Example evaluates the calibrated fault model at the paper's operating
+// point: at 0.625×VDD and 1 GHz, more than 95 % of 64-byte lines have
+// fewer than two faults — the observation Killi's design is built on.
+func Example() {
+	m := faultmodel.Default()
+	d := m.LineFaultDist(512, 0.625, 1.0)
+	fmt.Printf("P(<2 faults per line) > 95%%: %v\n", d.P0+d.P1 > 0.95)
+	fmt.Printf("fault-free: %.1f%%  one-fault: %.1f%%  multi-fault: %.2f%%\n",
+		d.P0*100, d.P1*100, d.P2Plus*100)
+
+	// Output:
+	// P(<2 faults per line) > 95%: true
+	// fault-free: 96.0%  one-fault: 3.9%  multi-fault: 0.08%
+}

@@ -1,0 +1,314 @@
+// Package faultmodel models low-voltage SRAM cell failures.
+//
+// The Killi paper consumes 14nm FinFET silicon measurements (Ganapathy et
+// al., DAC'17): per-cell failure probabilities for writeability and
+// read-disturbance tests across normalized supply voltages (Figure 1) and
+// the resulting per-line fault-count distribution (Figure 2). We do not
+// have the silicon data, so this package substitutes an analytic model
+// calibrated to the paper's published anchor points:
+//
+//   - at 0.625×VDD and 1 GHz, >95 % of 64-byte lines have fewer than two
+//     faults (§3), with a visible population of 1-fault lines (Figure 2);
+//   - at 0.600×VDD every technique in Figure 6 still classifies ~100 % of
+//     lines, which bounds the ≥3-fault population to near zero;
+//   - at 0.575×VDD MS-ECC (corrects 11 errors per line) retains 69.6 % of
+//     cache capacity (Table 7), which pins the high-failure regime;
+//   - failure probability rises super-exponentially below ~0.675×VDD and
+//     is negligible above it (Figure 1);
+//   - failures are monotone: a cell failing at voltage v fails at every
+//     v' < v, and failing at frequency f fails at every f' > f (§3).
+//
+// The model is piecewise log-linear between calibrated (voltage, P_cell)
+// knots, with a multiplicative frequency factor.
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"killi/internal/xrand"
+)
+
+// TestKind distinguishes the two silicon test conditions in Figure 1.
+type TestKind int
+
+const (
+	// ReadDisturb checks for a cell flipping state when the wordline
+	// turns on without write data driven.
+	ReadDisturb TestKind = iota
+	// Writeability checks the ability to change state within the wordline
+	// pulse.
+	Writeability
+)
+
+// String names the test kind.
+func (k TestKind) String() string {
+	switch k {
+	case ReadDisturb:
+		return "read-disturb"
+	case Writeability:
+		return "writeability"
+	default:
+		return fmt.Sprintf("faultmodel.TestKind(%d)", int(k))
+	}
+}
+
+// knot is a calibration point of the combined cell-failure curve at 1 GHz.
+type knot struct {
+	v    float64 // normalized voltage
+	logP float64 // log10 of combined cell failure probability
+}
+
+// knots1GHz is the combined (read + write) cell failure probability at
+// 1 GHz. Between knots the model interpolates linearly in log10 space;
+// outside it clamps (the floor represents the detection limit of the
+// silicon tests).
+var knots1GHz = []knot{
+	{0.500, math.Log10(2.0e-1)},
+	{0.550, math.Log10(3.0e-2)},
+	{0.575, math.Log10(1.0e-2)},
+	{0.600, math.Log10(1.2e-3)},
+	{0.625, math.Log10(8.0e-5)},
+	{0.650, math.Log10(6.0e-6)},
+	{0.675, math.Log10(4.0e-7)},
+	{0.700, math.Log10(1.0e-8)},
+	{0.750, math.Log10(1.0e-10)},
+	{0.800, math.Log10(1.0e-12)},
+	{1.000, math.Log10(1.0e-14)},
+}
+
+// Model evaluates cell failure probabilities. The zero value is the
+// calibrated default model.
+type Model struct {
+	// FreqSlope is the log10 change in failure probability per GHz of
+	// frequency increase (failures increase with frequency). The default
+	// 1.2 gives roughly a 5× decrease from 1 GHz down to 400 MHz,
+	// mirroring the spread of Figure 1's frequency family.
+	FreqSlope float64
+	// WriteShare is the fraction of the combined failure probability
+	// attributed to writeability failures; the remainder is read
+	// disturbance. Writeability dominates slightly at low voltage in the
+	// silicon data.
+	WriteShare float64
+}
+
+// Default returns the calibrated default model.
+func Default() Model { return Model{FreqSlope: 1.2, WriteShare: 0.6} }
+
+func (m Model) freqSlope() float64 {
+	if m.FreqSlope == 0 {
+		return 1.2
+	}
+	return m.FreqSlope
+}
+
+func (m Model) writeShare() float64 {
+	if m.WriteShare == 0 {
+		return 0.6
+	}
+	return m.WriteShare
+}
+
+// CellFailureProb returns the probability that a single SRAM cell fails the
+// combined (read or write) test at normalized voltage vNorm and frequency
+// freqGHz. The result is monotone decreasing in vNorm and monotone
+// increasing in freqGHz.
+func (m Model) CellFailureProb(vNorm, freqGHz float64) float64 {
+	if vNorm <= 0 {
+		return 0.5
+	}
+	logP := interpLog(vNorm)
+	logP += m.freqSlope() * (freqGHz - 1.0)
+	p := math.Pow(10, logP)
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+// TestFailureProb splits the combined probability by test kind for
+// rendering Figure 1's two curve families.
+func (m Model) TestFailureProb(kind TestKind, vNorm, freqGHz float64) float64 {
+	p := m.CellFailureProb(vNorm, freqGHz)
+	switch kind {
+	case Writeability:
+		return p * m.writeShare()
+	case ReadDisturb:
+		return p * (1 - m.writeShare())
+	default:
+		panic(fmt.Sprintf("faultmodel: unknown test kind %d", int(kind)))
+	}
+}
+
+// interpLog interpolates log10(P_cell) at 1 GHz across the calibration
+// knots, clamping outside the table.
+func interpLog(v float64) float64 {
+	ks := knots1GHz
+	if v <= ks[0].v {
+		return ks[0].logP
+	}
+	if v >= ks[len(ks)-1].v {
+		return ks[len(ks)-1].logP
+	}
+	i := sort.Search(len(ks), func(i int) bool { return ks[i].v >= v }) // first knot ≥ v
+	lo, hi := ks[i-1], ks[i]
+	frac := (v - lo.v) / (hi.v - lo.v)
+	return lo.logP + frac*(hi.logP-lo.logP)
+}
+
+// LineDist is the per-line fault-count distribution of Figure 2.
+type LineDist struct {
+	P0      float64 // fraction of lines with zero faults
+	P1      float64 // exactly one fault
+	P2Plus  float64 // two or more faults
+	PerCell float64 // the underlying cell probability
+}
+
+// LineFaultDist returns the probability of a line of bitsPerLine cells
+// having 0, 1, or ≥2 faulty cells under independent per-cell failures.
+func (m Model) LineFaultDist(bitsPerLine int, vNorm, freqGHz float64) LineDist {
+	p := m.CellFailureProb(vNorm, freqGHz)
+	n := float64(bitsPerLine)
+	// Compute in log space to stay stable for tiny p.
+	logQ := math.Log1p(-p)
+	p0 := math.Exp(n * logQ)
+	p1 := 0.0
+	if p > 0 {
+		p1 = math.Exp(math.Log(n) + math.Log(p) + (n-1)*logQ)
+	}
+	d := LineDist{P0: p0, P1: p1, P2Plus: 1 - p0 - p1, PerCell: p}
+	if d.P2Plus < 0 {
+		d.P2Plus = 0
+	}
+	return d
+}
+
+// Fault is a persistent stuck-at fault in one cell of a line.
+type Fault struct {
+	// Bit is the cell's bit position within the line.
+	Bit int
+	// StuckAt is the value the cell always returns (0 or 1). A fault is
+	// masked whenever the stored data bit equals StuckAt.
+	StuckAt uint
+	// Severity encodes the fault's activation threshold: the fault is
+	// active at voltage v (and the map's generation frequency) whenever
+	// CellFailureProb(v) ≥ Severity. Lower severity ⇒ activates at higher
+	// voltages too. This realizes the silicon observation that failures
+	// are monotone in voltage.
+	Severity float64
+}
+
+// Map is a persistent fault population for an array of lines, generated at
+// a reference (minimum) voltage. Faults for any voltage ≥ the reference are
+// the subset whose Severity is within that voltage's failure probability.
+type Map struct {
+	model   Model
+	bits    int
+	freqGHz float64
+	refProb float64
+	perLine [][]Fault
+}
+
+// NewMap samples a fault population for lines × bitsPerLine cells at
+// reference voltage refV (the lowest voltage the map can serve) and
+// frequency freqGHz.
+func NewMap(r *xrand.Rand, m Model, lines, bitsPerLine int, refV, freqGHz float64) *Map {
+	if lines < 0 || bitsPerLine <= 0 {
+		panic("faultmodel: invalid map dimensions")
+	}
+	refProb := m.CellFailureProb(refV, freqGHz)
+	fm := &Map{
+		model:   m,
+		bits:    bitsPerLine,
+		freqGHz: freqGHz,
+		refProb: refProb,
+		perLine: make([][]Fault, lines),
+	}
+	for line := 0; line < lines; line++ {
+		// Geometric skipping through the line's cells.
+		for bit := r.Geometric(refProb); bit < bitsPerLine; {
+			fm.perLine[line] = append(fm.perLine[line], Fault{
+				Bit:      bit,
+				StuckAt:  uint(r.Uint64() & 1),
+				Severity: r.Float64() * refProb,
+			})
+			skip := r.Geometric(refProb)
+			if skip >= bitsPerLine { // avoid overflow on the index addition
+				break
+			}
+			bit += skip + 1
+		}
+	}
+	return fm
+}
+
+// NewMapExplicit builds a map from an explicit per-line fault list, for
+// tests and controlled experiments. A fault with Severity 0 is active at
+// every voltage; Severity p is active wherever CellFailureProb(v) ≥ p.
+func NewMapExplicit(m Model, bitsPerLine int, freqGHz float64, perLine [][]Fault) *Map {
+	if bitsPerLine <= 0 {
+		panic("faultmodel: invalid map dimensions")
+	}
+	for _, faults := range perLine {
+		for _, f := range faults {
+			if f.Bit < 0 || f.Bit >= bitsPerLine {
+				panic(fmt.Sprintf("faultmodel: fault bit %d out of range", f.Bit))
+			}
+		}
+	}
+	return &Map{
+		model:   m,
+		bits:    bitsPerLine,
+		freqGHz: freqGHz,
+		refProb: m.CellFailureProb(0, freqGHz),
+		perLine: perLine,
+	}
+}
+
+// Lines returns the number of lines covered by the map.
+func (fm *Map) Lines() int { return len(fm.perLine) }
+
+// BitsPerLine returns the per-line cell count.
+func (fm *Map) BitsPerLine() int { return fm.bits }
+
+// ActiveFaults returns the faults of a line active at voltage vNorm
+// (vNorm must be ≥ the map's reference voltage for meaningful results;
+// higher voltages yield subsets — the monotonicity property).
+func (fm *Map) ActiveFaults(line int, vNorm float64) []Fault {
+	p := fm.model.CellFailureProb(vNorm, fm.freqGHz)
+	var out []Fault
+	for _, f := range fm.perLine[line] {
+		if f.Severity <= p {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AllFaults returns every sampled fault of a line (active at the reference
+// voltage).
+func (fm *Map) AllFaults(line int) []Fault { return fm.perLine[line] }
+
+// CountAtVoltage returns how many lines have exactly 0, exactly 1, and ≥2
+// active faults at vNorm — the empirical Figure 2 distribution.
+func (fm *Map) CountAtVoltage(vNorm float64) (zero, one, twoPlus int) {
+	p := fm.model.CellFailureProb(vNorm, fm.freqGHz)
+	for _, faults := range fm.perLine {
+		n := 0
+		for _, f := range faults {
+			if f.Severity <= p {
+				n++
+			}
+		}
+		switch {
+		case n == 0:
+			zero++
+		case n == 1:
+			one++
+		default:
+			twoPlus++
+		}
+	}
+	return zero, one, twoPlus
+}

@@ -1,0 +1,264 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+
+	"killi/internal/xrand"
+)
+
+func TestMonotoneInVoltage(t *testing.T) {
+	m := Default()
+	prev := math.Inf(1)
+	for v := 0.50; v <= 1.0; v += 0.005 {
+		p := m.CellFailureProb(v, 1.0)
+		if p > prev {
+			t.Fatalf("P_cell increased with voltage at v=%v: %v > %v", v, p, prev)
+		}
+		if p <= 0 || p > 0.5 {
+			t.Fatalf("P_cell out of range at v=%v: %v", v, p)
+		}
+		prev = p
+	}
+}
+
+func TestMonotoneInFrequency(t *testing.T) {
+	m := Default()
+	for _, v := range []float64{0.55, 0.6, 0.625, 0.65} {
+		prev := 0.0
+		for f := 0.4; f <= 1.0; f += 0.1 {
+			p := m.CellFailureProb(v, f)
+			if p < prev {
+				t.Fatalf("P_cell decreased with frequency at v=%v f=%v", v, f)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPaperAnchor625(t *testing.T) {
+	// §3: at 1 GHz and 0.625×VDD, >95 % of rows have fewer than two
+	// failures.
+	d := Default().LineFaultDist(512, 0.625, 1.0)
+	if d.P0+d.P1 < 0.95 {
+		t.Fatalf("P(<2 faults) = %v at 0.625×VDD, want > 0.95", d.P0+d.P1)
+	}
+	// Figure 2 shows a visible 1-fault population (not essentially zero).
+	if d.P1 < 0.01 {
+		t.Fatalf("P(1 fault) = %v at 0.625×VDD, want ≥ 1%%", d.P1)
+	}
+	// And most lines are fault-free.
+	if d.P0 < 0.90 {
+		t.Fatalf("P(0 faults) = %v, want ≥ 0.90", d.P0)
+	}
+}
+
+func TestPaperAnchor600(t *testing.T) {
+	// Figure 6: at 0.600×VDD all techniques (including DECTED: detects up
+	// to 3 errors) classify essentially all lines ⇒ the ≥4-fault line
+	// population must be tiny.
+	d := Default().LineFaultDist(523, 0.600, 1.0)
+	lambda := 523 * d.PerCell
+	// Poisson upper bound on P(≥4).
+	p4 := 1 - math.Exp(-lambda)*(1+lambda+lambda*lambda/2+lambda*lambda*lambda/6)
+	if p4 > 0.01 {
+		t.Fatalf("P(≥4 faults) ≈ %v at 0.600×VDD, want < 1%%", p4)
+	}
+}
+
+func TestPaperAnchor575MSECCCapacity(t *testing.T) {
+	// Table 7: at 0.575×VDD MS-ECC (corrects ≤11 per line) keeps ~69.6 %
+	// capacity. With codeword ≈ 1018 bits, P(≤11 faults) should be in the
+	// 55–85 % band.
+	p := Default().CellFailureProb(0.575, 1.0)
+	lambda := 1018 * p
+	cum := 0.0
+	term := math.Exp(-lambda)
+	for k := 0; k <= 11; k++ {
+		cum += term
+		term *= lambda / float64(k+1)
+	}
+	if cum < 0.55 || cum > 0.85 {
+		t.Fatalf("P(≤11 faults) = %v at 0.575×VDD, want ≈ 0.70", cum)
+	}
+}
+
+func TestNegligibleAboveKnee(t *testing.T) {
+	// Figure 1: failures effectively vanish above ~0.7×VDD.
+	p := Default().CellFailureProb(0.75, 1.0)
+	if p > 1e-9 {
+		t.Fatalf("P_cell = %v at 0.75×VDD, want < 1e-9", p)
+	}
+}
+
+func TestTestKindSplit(t *testing.T) {
+	m := Default()
+	pw := m.TestFailureProb(Writeability, 0.6, 1.0)
+	pr := m.TestFailureProb(ReadDisturb, 0.6, 1.0)
+	if pw <= 0 || pr <= 0 {
+		t.Fatal("split probabilities must be positive")
+	}
+	if math.Abs(pw+pr-m.CellFailureProb(0.6, 1.0)) > 1e-12 {
+		t.Fatal("split does not sum to combined probability")
+	}
+	if pw <= pr {
+		t.Fatal("writeability should dominate read disturb in this model")
+	}
+}
+
+func TestTestKindString(t *testing.T) {
+	if ReadDisturb.String() != "read-disturb" || Writeability.String() != "writeability" {
+		t.Fatal("test kind names wrong")
+	}
+}
+
+func TestUnknownTestKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown test kind did not panic")
+		}
+	}()
+	Default().TestFailureProb(TestKind(9), 0.6, 1.0)
+}
+
+func TestLineFaultDistSumsToOne(t *testing.T) {
+	m := Default()
+	for _, v := range []float64{0.5, 0.575, 0.625, 0.7, 0.9} {
+		d := m.LineFaultDist(512, v, 1.0)
+		sum := d.P0 + d.P1 + d.P2Plus
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("v=%v: distribution sums to %v", v, sum)
+		}
+		if d.P0 < 0 || d.P1 < 0 || d.P2Plus < 0 {
+			t.Fatalf("v=%v: negative probability %+v", v, d)
+		}
+	}
+}
+
+func TestZeroValueModelUsesDefaults(t *testing.T) {
+	var zero Model
+	def := Default()
+	for _, v := range []float64{0.55, 0.625, 0.8} {
+		if zero.CellFailureProb(v, 1.0) != def.CellFailureProb(v, 1.0) {
+			t.Fatal("zero-value model differs from Default")
+		}
+	}
+}
+
+func TestMapEmpiricalMatchesAnalytic(t *testing.T) {
+	m := Default()
+	r := xrand.New(42)
+	const lines = 200000
+	fm := NewMap(r, m, lines, 512, 0.575, 1.0)
+	zero, one, twoPlus := fm.CountAtVoltage(0.625)
+	d := m.LineFaultDist(512, 0.625, 1.0)
+	gotP0 := float64(zero) / lines
+	gotP1 := float64(one) / lines
+	gotP2 := float64(twoPlus) / lines
+	if math.Abs(gotP0-d.P0) > 0.01 {
+		t.Fatalf("empirical P0=%v analytic %v", gotP0, d.P0)
+	}
+	if math.Abs(gotP1-d.P1) > 0.01 {
+		t.Fatalf("empirical P1=%v analytic %v", gotP1, d.P1)
+	}
+	if math.Abs(gotP2-d.P2Plus) > 0.005 {
+		t.Fatalf("empirical P2+=%v analytic %v", gotP2, d.P2Plus)
+	}
+}
+
+func TestMapMonotonicity(t *testing.T) {
+	// Faults active at a voltage must be a superset of those active at
+	// any higher voltage — the silicon persistence property.
+	r := xrand.New(7)
+	fm := NewMap(r, Default(), 5000, 512, 0.55, 1.0)
+	for line := 0; line < fm.Lines(); line++ {
+		hi := fm.ActiveFaults(line, 0.65)
+		lo := fm.ActiveFaults(line, 0.60)
+		loSet := map[int]bool{}
+		for _, f := range lo {
+			loSet[f.Bit] = true
+		}
+		for _, f := range hi {
+			if !loSet[f.Bit] {
+				t.Fatalf("line %d: fault at bit %d active at 0.65 but not 0.60", line, f.Bit)
+			}
+		}
+		if len(lo) < len(hi) {
+			t.Fatalf("line %d: fewer faults at lower voltage", line)
+		}
+	}
+}
+
+func TestMapDeterminism(t *testing.T) {
+	a := NewMap(xrand.New(3), Default(), 1000, 512, 0.575, 1.0)
+	b := NewMap(xrand.New(3), Default(), 1000, 512, 0.575, 1.0)
+	for line := 0; line < 1000; line++ {
+		fa, fb := a.AllFaults(line), b.AllFaults(line)
+		if len(fa) != len(fb) {
+			t.Fatalf("line %d: different fault counts", line)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("line %d fault %d differs", line, i)
+			}
+		}
+	}
+}
+
+func TestMapFaultFields(t *testing.T) {
+	fm := NewMap(xrand.New(9), Default(), 20000, 512, 0.5, 1.0)
+	total := 0
+	for line := 0; line < fm.Lines(); line++ {
+		for _, f := range fm.AllFaults(line) {
+			total++
+			if f.Bit < 0 || f.Bit >= 512 {
+				t.Fatalf("fault bit %d out of range", f.Bit)
+			}
+			if f.StuckAt > 1 {
+				t.Fatalf("stuck-at value %d", f.StuckAt)
+			}
+			if f.Severity < 0 || f.Severity > fm.refProb {
+				t.Fatalf("severity %v outside [0, refProb]", f.Severity)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no faults sampled at 0.5×VDD")
+	}
+}
+
+func TestMapHighVoltageFaultFree(t *testing.T) {
+	fm := NewMap(xrand.New(11), Default(), 50000, 512, 0.9, 1.0)
+	zero, one, twoPlus := fm.CountAtVoltage(0.9)
+	if one+twoPlus > 2 {
+		t.Fatalf("%d lines faulty at 0.9×VDD; expected essentially none", one+twoPlus)
+	}
+	if zero < 49998 {
+		t.Fatalf("zero-fault lines = %d", zero)
+	}
+}
+
+func TestNewMapPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"neg lines": func() { NewMap(xrand.New(1), Default(), -1, 512, 0.6, 1.0) },
+		"zero bits": func() { NewMap(xrand.New(1), Default(), 10, 0, 0.6, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkNewMap2MBCache(b *testing.B) {
+	// 2 MB / 64 B = 32768 lines, the paper's L2 size.
+	m := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewMap(xrand.New(uint64(i)), m, 32768, 512, 0.625, 1.0)
+	}
+}

@@ -1,0 +1,205 @@
+// Package faultstore implements the alternative the paper dismisses in §1:
+// "per-voltage fault population could be maintained in memory, but that
+// solution is costly and complex."
+//
+// To make that cost concrete, the package builds, serializes, and reloads
+// per-voltage fault maps for an SRAM array — exactly what a
+// pre-characterized scheme would have to persist across power states to
+// avoid re-running MBIST. The measured artifacts are:
+//
+//   - the DRAM/flash footprint (FootprintBytes), which must cover every
+//     supported voltage/frequency operating point and be rebuilt whenever
+//     aging shifts the fault population;
+//   - the reload stall (LoadStallCycles) charged at every power-state
+//     transition, in place of the MBIST pass;
+//   - the code itself, which is the "complex" part: versioned binary
+//     formats, integrity checks, and per-operating-point indexing, all of
+//     which Killi's two DFH bits per line replace.
+package faultstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"killi/internal/faultmodel"
+)
+
+// magic and version identify the serialized format.
+const (
+	magic   uint32 = 0x4b494c46 // "KILF"
+	version uint16 = 1
+)
+
+// Record is one operating point's fault population.
+type Record struct {
+	// Voltage is the normalized operating voltage this record covers.
+	Voltage float64
+	// PerLine lists each line's active faults (may be empty).
+	PerLine [][]faultmodel.Fault
+}
+
+// Store is a multi-voltage fault map, ordered by ascending voltage.
+// The zero value is an empty store.
+type Store struct {
+	records []Record
+}
+
+// Build characterizes the array at each voltage (ascending order enforced)
+// — the offline work MBIST would perform once per operating point.
+func Build(fm *faultmodel.Map, voltages []float64) *Store {
+	vs := append([]float64(nil), voltages...)
+	sort.Float64s(vs)
+	s := &Store{}
+	for _, v := range vs {
+		rec := Record{Voltage: v, PerLine: make([][]faultmodel.Fault, fm.Lines())}
+		for line := 0; line < fm.Lines(); line++ {
+			rec.PerLine[line] = fm.ActiveFaults(line, v)
+		}
+		s.records = append(s.records, rec)
+	}
+	return s
+}
+
+// Voltages returns the operating points the store covers.
+func (s *Store) Voltages() []float64 {
+	out := make([]float64, len(s.records))
+	for i, r := range s.records {
+		out[i] = r.Voltage
+	}
+	return out
+}
+
+// At returns the fault record covering a requested voltage: the highest
+// characterized point that is ≤ v would UNDER-protect (fewer faults than
+// reality at lower v), so the store returns the nearest characterized
+// point at or BELOW v — a superset of the actual faults, which is safe.
+// ok is false if v is below every characterized point.
+func (s *Store) At(v float64) (Record, bool) {
+	idx := -1
+	for i, r := range s.records {
+		if r.Voltage <= v {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return Record{}, false
+	}
+	return s.records[idx], true
+}
+
+// MarshalBinary serializes the store:
+//
+//	u32 magic | u16 version | u16 #records
+//	per record: f64 voltage | u32 #lines | per line: u16 #faults |
+//	            per fault: u16 bit | u8 stuckAt
+//
+// Severities are not persisted: a record is already specialized to its
+// voltage.
+func (s *Store) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v interface{}) {
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(magic)
+	w(version)
+	if len(s.records) > math.MaxUint16 {
+		return nil, errors.New("faultstore: too many records")
+	}
+	w(uint16(len(s.records)))
+	for _, rec := range s.records {
+		w(rec.Voltage)
+		w(uint32(len(rec.PerLine)))
+		for _, faults := range rec.PerLine {
+			if len(faults) > math.MaxUint16 {
+				return nil, errors.New("faultstore: too many faults in one line")
+			}
+			w(uint16(len(faults)))
+			for _, f := range faults {
+				if f.Bit < 0 || f.Bit > math.MaxUint16 {
+					return nil, fmt.Errorf("faultstore: fault bit %d out of range", f.Bit)
+				}
+				w(uint16(f.Bit))
+				w(uint8(f.StuckAt & 1))
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary reloads a serialized store, validating the header.
+func (s *Store) UnmarshalBinary(data []byte) error {
+	buf := bytes.NewReader(data)
+	rd := func(v interface{}) error {
+		return binary.Read(buf, binary.LittleEndian, v)
+	}
+	var m uint32
+	if err := rd(&m); err != nil || m != magic {
+		return errors.New("faultstore: bad magic")
+	}
+	var ver uint16
+	if err := rd(&ver); err != nil || ver != version {
+		return fmt.Errorf("faultstore: unsupported version %d", ver)
+	}
+	var nRec uint16
+	if err := rd(&nRec); err != nil {
+		return err
+	}
+	s.records = make([]Record, nRec)
+	for i := range s.records {
+		if err := rd(&s.records[i].Voltage); err != nil {
+			return err
+		}
+		var nLines uint32
+		if err := rd(&nLines); err != nil {
+			return err
+		}
+		s.records[i].PerLine = make([][]faultmodel.Fault, nLines)
+		for l := range s.records[i].PerLine {
+			var nf uint16
+			if err := rd(&nf); err != nil {
+				return err
+			}
+			if nf == 0 {
+				continue
+			}
+			faults := make([]faultmodel.Fault, nf)
+			for fi := range faults {
+				var bit uint16
+				var stuck uint8
+				if err := rd(&bit); err != nil {
+					return err
+				}
+				if err := rd(&stuck); err != nil {
+					return err
+				}
+				faults[fi] = faultmodel.Fault{Bit: int(bit), StuckAt: uint(stuck)}
+			}
+			s.records[i].PerLine[l] = faults
+		}
+	}
+	return nil
+}
+
+// FootprintBytes returns the serialized size — the memory a
+// pre-characterized design must dedicate per chip to avoid MBIST reruns.
+func (s *Store) FootprintBytes() int {
+	b, err := s.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// LoadStallCycles converts a reload of the footprint into transition-stall
+// cycles at the given memory bandwidth (bytes per cycle) — the fault-map
+// alternative's answer to dvfs.MBISTModel.StallCycles.
+func LoadStallCycles(footprintBytes int, bytesPerCycle float64) uint64 {
+	if bytesPerCycle <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(float64(footprintBytes) / bytesPerCycle))
+}

@@ -1,0 +1,175 @@
+package faultstore
+
+import (
+	"testing"
+
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+	"killi/internal/xrand"
+)
+
+func buildTestStore(t *testing.T, lines int) (*Store, *faultmodel.Map) {
+	t.Helper()
+	fm := faultmodel.NewMap(xrand.New(3), faultmodel.Default(), lines, bitvec.LineBits, 0.55, 1.0)
+	return Build(fm, []float64{0.625, 0.6, 0.575}), fm
+}
+
+func TestBuildSortsVoltages(t *testing.T) {
+	s, _ := buildTestStore(t, 100)
+	vs := s.Voltages()
+	if len(vs) != 3 || vs[0] != 0.575 || vs[2] != 0.625 {
+		t.Fatalf("voltages %v", vs)
+	}
+}
+
+func TestAtSelectsSafeRecord(t *testing.T) {
+	s, _ := buildTestStore(t, 100)
+	// Exact hit.
+	rec, ok := s.At(0.6)
+	if !ok || rec.Voltage != 0.6 {
+		t.Fatalf("At(0.6) = %v, %v", rec.Voltage, ok)
+	}
+	// Between points: must pick the LOWER (superset, safe) record.
+	rec, ok = s.At(0.61)
+	if !ok || rec.Voltage != 0.6 {
+		t.Fatalf("At(0.61) = %v, want 0.6", rec.Voltage)
+	}
+	// Above every point: highest record still safe.
+	rec, ok = s.At(0.9)
+	if !ok || rec.Voltage != 0.625 {
+		t.Fatalf("At(0.9) = %v", rec.Voltage)
+	}
+	// Below every characterized point: not covered.
+	if _, ok := s.At(0.5); ok {
+		t.Fatal("At(0.5) claimed coverage below the characterized range")
+	}
+}
+
+func TestRecordsMatchFaultMap(t *testing.T) {
+	s, fm := buildTestStore(t, 500)
+	rec, _ := s.At(0.575)
+	for line := 0; line < 500; line++ {
+		want := fm.ActiveFaults(line, 0.575)
+		got := rec.PerLine[line]
+		if len(got) != len(want) {
+			t.Fatalf("line %d: %d faults stored, %d active", line, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Bit != want[i].Bit || got[i].StuckAt != want[i].StuckAt {
+				t.Fatalf("line %d fault %d mismatch", line, i)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s, _ := buildTestStore(t, 300)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Store
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.records) != len(s.records) {
+		t.Fatal("record count changed")
+	}
+	for i := range s.records {
+		if back.records[i].Voltage != s.records[i].Voltage {
+			t.Fatal("voltage changed")
+		}
+		for l := range s.records[i].PerLine {
+			a, b := s.records[i].PerLine[l], back.records[i].PerLine[l]
+			if len(a) != len(b) {
+				t.Fatalf("record %d line %d fault count changed", i, l)
+			}
+			for fi := range a {
+				if a[fi].Bit != b[fi].Bit || a[fi].StuckAt != b[fi].StuckAt {
+					t.Fatal("fault changed in round trip")
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var s Store
+	if err := s.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short garbage accepted")
+	}
+	if err := s.UnmarshalBinary(make([]byte, 64)); err == nil {
+		t.Fatal("zero garbage accepted")
+	}
+	// Corrupt the version of a valid blob.
+	good, _ := buildTestStore(t, 10)
+	data, _ := good.MarshalBinary()
+	data[4] = 0xff
+	if err := s.UnmarshalBinary(data); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated payload.
+	data, _ = good.MarshalBinary()
+	if err := s.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestFootprintScalesWithFaultPopulation(t *testing.T) {
+	fm := faultmodel.NewMap(xrand.New(4), faultmodel.Default(), 2048, bitvec.LineBits, 0.55, 1.0)
+	small := Build(fm, []float64{0.65}) // few faults active
+	large := Build(fm, []float64{0.55}) // many faults active
+	if small.FootprintBytes() >= large.FootprintBytes() {
+		t.Fatalf("footprint not monotone: %d vs %d", small.FootprintBytes(), large.FootprintBytes())
+	}
+	// Baseline skeleton: ≥ 2 bytes per line per record.
+	if small.FootprintBytes() < 2048*2 {
+		t.Fatalf("footprint %d implausibly small", small.FootprintBytes())
+	}
+}
+
+func TestPaperScaleFootprintVsKilli(t *testing.T) {
+	// The §1 cost argument quantified: covering five LV operating points
+	// for the 2 MB L2 costs hundreds of kilobytes of stored fault map —
+	// an order of magnitude beyond Killi's ~25-34 KB of on-chip state.
+	fm := faultmodel.NewMap(xrand.New(5), faultmodel.Default(), 32768, bitvec.LineBits, 0.55, 1.0)
+	s := Build(fm, []float64{0.675, 0.65, 0.625, 0.6, 0.575})
+	fp := s.FootprintBytes()
+	if fp < 300<<10 {
+		t.Fatalf("five-point fault map footprint = %d bytes; expected several hundred KB", fp)
+	}
+	// Reloading it at a transition is not free either.
+	if LoadStallCycles(fp, 16) == 0 {
+		t.Fatal("reload stall collapsed to zero")
+	}
+}
+
+func TestLoadStallCycles(t *testing.T) {
+	if LoadStallCycles(1024, 16) != 64 {
+		t.Fatal("stall math wrong")
+	}
+	if LoadStallCycles(1, 16) != 1 {
+		t.Fatal("ceil missing")
+	}
+	if LoadStallCycles(100, 0) != 0 {
+		t.Fatal("zero bandwidth should yield 0")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	var s Store
+	if _, ok := s.At(0.6); ok {
+		t.Fatal("empty store claimed coverage")
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Store
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Voltages()) != 0 {
+		t.Fatal("empty round trip gained records")
+	}
+}

@@ -1,0 +1,488 @@
+// Package gpu is the cycle-based GPU memory-hierarchy simulator the Killi
+// evaluation runs on.
+//
+// The paper evaluates Killi on gem5's GCN3 GPU model; we substitute a
+// from-scratch model of the parts that matter to the result: 8 compute
+// units issuing coalesced memory requests through per-CU L1 caches into a
+// banked, write-through, 16-way 2 MB shared L2 whose data array runs at low
+// voltage, backed by a latency/bandwidth DRAM model. Killi's performance
+// effects — ECC-cache contention evictions, error-induced misses, disabled
+// lines — are all L2-level phenomena, so an address-stream-driven hierarchy
+// reproduces them; the compute pipeline only sets request arrival rates,
+// which the workload's instructions-per-access figure models.
+//
+// Timing follows the paper's Table 3: 2-cycle L2 tag, 2-cycle L2 data,
+// 1-cycle SECDED/parity; the ECC cache's 1+1 cycle access is hidden under
+// the L2 data access and adds no hit latency.
+package gpu
+
+import (
+	"fmt"
+
+	"killi/internal/bitvec"
+	"killi/internal/cache"
+	"killi/internal/engine"
+	"killi/internal/faultmodel"
+	"killi/internal/mem"
+	"killi/internal/protection"
+	"killi/internal/sram"
+	"killi/internal/stats"
+	"killi/internal/workload"
+	"killi/internal/xrand"
+)
+
+// Config is the simulated GPU configuration (defaults mirror Table 3).
+type Config struct {
+	CUs              int // number of compute units
+	L1Bytes          int // per-CU L1 size
+	L1Ways           int
+	L2Bytes          int
+	L2Ways           int
+	L2Banks          int
+	LineBytes        int
+	L2TagLat         uint64 // cycles
+	L2DataLat        uint64 // cycles
+	ECCLat           uint64 // SECDED/parity latency, cycles
+	L1Lat            uint64 // L1 hit latency, cycles
+	WindowPerCU      int    // outstanding-request window per CU
+	IssueIPC         float64
+	Mem              mem.Config
+	Voltage          float64 // normalized L2 data-array voltage
+	FreqGHz          float64
+	FaultModel       faultmodel.Model
+	FaultSeed        uint64
+	RefVoltage       float64 // lowest voltage the fault map must serve (0 = Voltage)
+	SoftErrorPerRead float64 // probability of one transient flip per L2 read
+	// TagSoftErrorPerLookup is the probability that an L2 lookup hits a
+	// transient tag-bit flip. The tag array runs at nominal voltage and
+	// carries parity (§4.1), so the flip is always detected; the entry is
+	// invalidated and the access becomes a safe miss.
+	TagSoftErrorPerLookup float64
+}
+
+// DefaultConfig returns the paper's Table 3 GPU configuration at nominal
+// voltage.
+func DefaultConfig() Config {
+	return Config{
+		CUs:         8,
+		L1Bytes:     16 << 10,
+		L1Ways:      4,
+		L2Bytes:     2 << 20,
+		L2Ways:      16,
+		L2Banks:     16,
+		LineBytes:   64,
+		L2TagLat:    2,
+		L2DataLat:   2,
+		ECCLat:      1,
+		L1Lat:       1,
+		WindowPerCU: 32,
+		IssueIPC:    4,
+		Mem:         mem.DefaultConfig(),
+		Voltage:     1.0,
+		FreqGHz:     1.0,
+		FaultModel:  faultmodel.Default(),
+		FaultSeed:   1,
+	}
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Cycles        uint64
+	Instructions  uint64
+	L2Misses      uint64
+	L2Accesses    uint64
+	MemAccesses   uint64
+	DisabledLines int
+	Counters      *stats.Counters
+}
+
+// MPKI returns the run's L2 misses per kilo-instruction.
+func (r Result) MPKI() float64 { return stats.MPKI(r.L2Misses, r.Instructions) }
+
+// System is one simulated GPU with an attached protection scheme.
+// Construct with New.
+type System struct {
+	cfg    Config
+	eng    engine.Engine
+	scheme protection.Scheme
+
+	l2tags *cache.Cache
+	l2data *sram.Array
+	l1     []*cache.Cache
+
+	memory   *mem.Memory
+	versions map[uint64]uint32 // write version per line address
+	bankFree []uint64
+
+	ctr     stats.Counters
+	softRNG *xrand.Rand
+
+	// stallUntil gates request issue after a voltage transition whose
+	// scheme requires an offline MBIST pass.
+	stallUntil uint64
+
+	cus []*cuState
+}
+
+type cuState struct {
+	id        int
+	trace     []workload.Request
+	idx       int
+	inflight  int
+	lastIssue uint64
+	started   bool
+	instrs    uint64
+}
+
+// New builds a system with the given configuration and protection scheme.
+// The scheme is attached and Reset at the configured voltage.
+func New(cfg Config, scheme protection.Scheme) *System {
+	if cfg.CUs <= 0 || cfg.L2Banks <= 0 || cfg.WindowPerCU <= 0 {
+		panic("gpu: invalid configuration")
+	}
+	l2Sets := cfg.L2Bytes / cfg.LineBytes / cfg.L2Ways
+	s := &System{
+		cfg:      cfg,
+		scheme:   scheme,
+		l2tags:   cache.New(cache.Config{Sets: l2Sets, Ways: cfg.L2Ways, LineBytes: cfg.LineBytes}),
+		memory:   mem.New(cfg.Mem),
+		versions: make(map[uint64]uint32),
+		bankFree: make([]uint64, cfg.L2Banks),
+		softRNG:  xrand.New(cfg.FaultSeed ^ 0x5eed50f7),
+	}
+	refV := cfg.RefVoltage
+	if refV == 0 {
+		refV = cfg.Voltage
+	}
+	fm := faultmodel.NewMap(xrand.New(cfg.FaultSeed), cfg.FaultModel,
+		s.l2tags.Config().Lines(), bitvec.LineBits, refV, cfg.FreqGHz)
+	s.l2data = sram.New(s.l2tags.Config().Lines(), fm, cfg.Voltage)
+	l1Sets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Ways
+	s.l1 = make([]*cache.Cache, cfg.CUs)
+	for i := range s.l1 {
+		s.l1[i] = cache.New(cache.Config{Sets: l1Sets, Ways: cfg.L1Ways, LineBytes: cfg.LineBytes})
+	}
+	scheme.Attach(s)
+	scheme.Reset(cfg.Voltage)
+	return s
+}
+
+// --- protection.Host implementation ---
+
+// Tags implements protection.Host.
+func (s *System) Tags() *cache.Cache { return s.l2tags }
+
+// Data implements protection.Host.
+func (s *System) Data() *sram.Array { return s.l2data }
+
+// SchemeInvalidate implements protection.Host.
+func (s *System) SchemeInvalidate(set, way int) {
+	if s.l2tags.Entry(set, way).Valid {
+		s.ctr.Inc("l2.scheme_invalidations")
+		s.l2tags.Invalidate(set, way)
+	}
+}
+
+// Stats implements protection.Host.
+func (s *System) Stats() *stats.Counters { return &s.ctr }
+
+// SetVoltage transitions the L2 data array to a new operating point
+// between kernels: active persistent faults are recomputed, the protection
+// scheme's fault knowledge is reset, and the cache stalls for stallCycles
+// — the offline MBIST pre-characterization pass that pre-trained schemes
+// need at every transition, and that Killi's runtime classification makes
+// zero (the paper's headline deployment argument).
+func (s *System) SetVoltage(vNorm float64, stallCycles uint64) {
+	s.cfg.Voltage = vNorm
+	s.l2data.SetVoltage(vNorm)
+	s.scheme.Reset(vNorm)
+	s.stallUntil = s.eng.Now() + stallCycles
+	s.ctr.Inc("l2.voltage_transitions")
+	s.ctr.Add("l2.transition_stall_cycles", stallCycles)
+}
+
+// Voltage returns the L2 data array's current normalized voltage.
+func (s *System) Voltage() float64 { return s.cfg.Voltage }
+
+// InjectAgingFaults sprinkles n new persistent stuck-at faults uniformly
+// over the data array, modeling wear-out accumulating between kernels.
+// Killi discovers them as post-training errors and relearns the affected
+// lines; MBIST schemes stay blind until their next characterization pass.
+func (s *System) InjectAgingFaults(seed uint64, n int) {
+	r := xrand.New(seed)
+	lines := s.l2tags.Config().Lines()
+	for i := 0; i < n; i++ {
+		s.l2data.InjectPersistentFault(r.Intn(lines), r.Intn(bitvec.LineBits), uint(r.Uint64()&1))
+	}
+	s.ctr.Add("l2.aging_faults_injected", uint64(n))
+}
+
+// --- data content model ---
+
+// lineContent returns the deterministic memory content of a line address at
+// a write version: memory is a pure function, so the backing store needs no
+// per-line storage.
+func lineContent(addr uint64, version uint32) bitvec.Line {
+	var l bitvec.Line
+	x := addr*0x9e3779b97f4a7c15 ^ uint64(version)*0xda942042e4dd58b5
+	for w := range l {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		l[w] = z ^ (z >> 31)
+	}
+	return l
+}
+
+// memContent returns the current true content of a line address.
+func (s *System) memContent(lineAddr uint64) bitvec.Line {
+	return lineContent(lineAddr, s.versions[lineAddr])
+}
+
+// --- simulation ---
+
+// Run simulates the given per-CU traces to completion and returns the
+// result. The trace slice must have at least cfg.CUs entries; extras are
+// ignored.
+//
+// Run may be called repeatedly on the same System: cache, scheme, and DFH
+// state persist across calls (the paper's "training happens once per
+// reset cycle, not per kernel"), and the Result reports only the latest
+// run's cycles and event deltas. This is how steady-state measurements
+// exclude one-time warmup.
+func (s *System) Run(traces [][]workload.Request) Result {
+	if len(traces) < s.cfg.CUs {
+		panic(fmt.Sprintf("gpu: %d traces for %d CUs", len(traces), s.cfg.CUs))
+	}
+	startCycle := s.eng.Now()
+	snap := s.ctr.Snapshot()
+	startMem := s.memory.Accesses()
+	s.cus = make([]*cuState, s.cfg.CUs)
+	for i := range s.cus {
+		s.cus[i] = &cuState{id: i, trace: traces[i]}
+		s.issueMore(s.cus[i])
+	}
+	cycles := s.eng.Run()
+	res := Result{
+		Cycles:      cycles - startCycle,
+		L2Misses:    s.ctr.Since(snap, "l2.read_misses") + s.ctr.Since(snap, "l2.error_misses"),
+		L2Accesses:  s.ctr.Since(snap, "l2.accesses"),
+		MemAccesses: s.memory.Accesses() - startMem,
+		Counters:    &s.ctr,
+	}
+	for _, cu := range s.cus {
+		res.Instructions += cu.instrs
+	}
+	res.DisabledLines = s.l2tags.DisabledLines()
+	return res
+}
+
+// issueMore launches trace requests for a CU until its window fills or the
+// trace ends. Issue spacing models compute between accesses:
+// instructions-per-access divided by the CU's issue IPC.
+func (s *System) issueMore(cu *cuState) {
+	for cu.inflight < s.cfg.WindowPerCU && cu.idx < len(cu.trace) {
+		req := cu.trace[cu.idx]
+		cu.idx++
+		cu.inflight++
+		gap := uint64(float64(req.Instrs) / s.cfg.IssueIPC)
+		issueAt := s.eng.Now()
+		if issueAt < s.stallUntil {
+			issueAt = s.stallUntil
+		}
+		if cu.started && cu.lastIssue+gap > issueAt {
+			issueAt = cu.lastIssue + gap
+		}
+		cu.started = true
+		cu.lastIssue = issueAt
+		cu.instrs += uint64(req.Instrs)
+		s.eng.Schedule(issueAt-s.eng.Now(), func() { s.access(cu, req) })
+	}
+}
+
+// complete retires one in-flight request for a CU and refills its window.
+func (s *System) complete(cu *cuState) {
+	cu.inflight--
+	s.issueMore(cu)
+}
+
+// access starts one memory request at the current cycle.
+func (s *System) access(cu *cuState, req workload.Request) {
+	lineAddr := req.Addr / uint64(s.cfg.LineBytes)
+	l1 := s.l1[cu.id]
+	l1Set := l1.Index(req.Addr)
+	l1Tag := l1.Tag(req.Addr)
+
+	if req.Write {
+		s.ctr.Inc("l1.writes")
+		// Write-through, no-allocate at both levels; the store retires
+		// without a completion dependency.
+		s.versions[lineAddr]++
+		newData := s.memContent(lineAddr)
+		if way, hit := l1.Lookup(l1Set, l1Tag); hit {
+			l1.Touch(l1Set, way)
+		}
+		s.writeThroughL2(req.Addr, newData)
+		s.memory.AccessWrite(s.eng.Now())
+		s.eng.Schedule(s.cfg.L1Lat, func() { s.complete(cu) })
+		return
+	}
+
+	s.ctr.Inc("l1.reads")
+	if way, hit := l1.Lookup(l1Set, l1Tag); hit {
+		s.ctr.Inc("l1.hits")
+		l1.Touch(l1Set, way)
+		s.eng.Schedule(s.cfg.L1Lat, func() { s.complete(cu) })
+		return
+	}
+	// L1 miss: go to the L2 bank.
+	s.eng.Schedule(s.cfg.L1Lat, func() { s.l2Read(cu, req.Addr) })
+}
+
+// bankStart reserves the L2 bank serving addr and returns the cycle at
+// which the access begins (bank conflicts delay it).
+func (s *System) bankStart(addr uint64) uint64 {
+	set := s.l2tags.Index(addr)
+	bank := set % s.cfg.L2Banks
+	start := s.eng.Now()
+	if s.bankFree[bank] > start {
+		start = s.bankFree[bank]
+	}
+	s.bankFree[bank] = start + s.cfg.L2TagLat + s.cfg.L2DataLat
+	return start
+}
+
+// l2Read performs the L2 read pipeline for one request.
+func (s *System) l2Read(cu *cuState, addr uint64) {
+	s.ctr.Inc("l2.accesses")
+	start := s.bankStart(addr)
+	set := s.l2tags.Index(addr)
+	tag := s.l2tags.Tag(addr)
+	lineAddr := addr / uint64(s.cfg.LineBytes)
+
+	if s.cfg.TagSoftErrorPerLookup > 0 && s.softRNG.Bernoulli(s.cfg.TagSoftErrorPerLookup) {
+		// Tag parity catches the flip; the affected entry is dropped and
+		// the access refetches — never a wrong-line hit.
+		s.ctr.Inc("l2.tag_parity_misses")
+		if way, hit := s.l2tags.Lookup(set, tag); hit {
+			s.scheme.OnEvict(set, way)
+			s.l2tags.Invalidate(set, way)
+		}
+		s.ctr.Inc("l2.read_misses")
+		s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat)
+		return
+	}
+
+	if way, hit := s.l2tags.Lookup(set, tag); hit {
+		s.l2tags.Touch(set, way)
+		id := s.l2tags.LineID(set, way)
+		if s.cfg.SoftErrorPerRead > 0 && s.softRNG.Bernoulli(s.cfg.SoftErrorPerRead) {
+			s.l2data.InjectSoftError(id, s.softRNG.Intn(bitvec.LineBits))
+			s.ctr.Inc("l2.soft_errors_injected")
+		}
+		data := s.l2data.Read(id)
+		verdict := s.scheme.OnReadHit(set, way, &data)
+		if verdict == protection.Deliver {
+			s.ctr.Inc("l2.read_hits")
+			if data != s.memContent(lineAddr) {
+				// Delivered data differs from ground truth: silent data
+				// corruption the scheme failed to catch.
+				s.ctr.Inc("l2.silent_data_corruption")
+			}
+			done := start + s.cfg.L2TagLat + s.cfg.L2DataLat + s.cfg.ECCLat
+			s.eng.Schedule(done-s.eng.Now(), func() {
+				s.l1Fill(cu.id, addr)
+				s.complete(cu)
+			})
+			return
+		}
+		// Error-induced cache miss: the scheme already invalidated or
+		// disabled the line; refetch from memory.
+		s.ctr.Inc("l2.error_misses")
+		s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat+s.cfg.L2DataLat+s.cfg.ECCLat)
+		return
+	}
+	s.ctr.Inc("l2.read_misses")
+	s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat)
+}
+
+// fetchAndFill fetches a line from memory at earliest cycle "from", installs
+// it into the L2 (if a way is available), fills the L1, and completes the
+// request.
+func (s *System) fetchAndFill(cu *cuState, addr uint64, from uint64) {
+	lineAddr := addr / uint64(s.cfg.LineBytes)
+	done := s.memory.Access(from)
+	s.eng.Schedule(done-s.eng.Now(), func() {
+		s.installL2(addr, s.memContent(lineAddr))
+		s.l1Fill(cu.id, addr)
+		s.complete(cu)
+	})
+}
+
+// installL2 places fetched data into the L2, driving victim selection,
+// eviction training, and fill metadata generation on the scheme. When every
+// way of the set is disabled the line bypasses the cache.
+func (s *System) installL2(addr uint64, data bitvec.Line) {
+	set := s.l2tags.Index(addr)
+	tag := s.l2tags.Tag(addr)
+	if _, hit := s.l2tags.Lookup(set, tag); hit {
+		// A racing fill already installed this line.
+		return
+	}
+	// Eviction training can disable the chosen victim (Killi discovering a
+	// multi-bit faulty line on its way out); re-pick until an installable
+	// way is found or the set is exhausted.
+	way := -1
+	for attempt := 0; attempt < s.cfg.L2Ways; attempt++ {
+		w, ok := s.l2tags.Victim(set, s.scheme.VictimFunc())
+		if !ok {
+			break
+		}
+		if s.l2tags.Entry(set, w).Valid {
+			s.ctr.Inc("l2.evictions")
+			s.scheme.OnEvict(set, w)
+		}
+		if !s.l2tags.Entry(set, w).Disabled {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		s.ctr.Inc("l2.bypass_fills")
+		return
+	}
+	s.l2tags.Install(set, way, tag)
+	id := s.l2tags.LineID(set, way)
+	s.l2data.Write(id, data)
+	s.scheme.OnFill(set, way, data)
+}
+
+// writeThroughL2 updates the L2 copy of a stored-to line, if present.
+func (s *System) writeThroughL2(addr uint64, data bitvec.Line) {
+	set := s.l2tags.Index(addr)
+	tag := s.l2tags.Tag(addr)
+	if way, hit := s.l2tags.Lookup(set, tag); hit {
+		s.ctr.Inc("l2.write_updates")
+		s.l2tags.Touch(set, way)
+		id := s.l2tags.LineID(set, way)
+		s.l2data.Write(id, data)
+		s.scheme.OnWriteHit(set, way, data)
+	}
+}
+
+// l1Fill installs a line into a CU's L1 (plain LRU, no protection — the
+// paper's scope is the L2).
+func (s *System) l1Fill(cuID int, addr uint64) {
+	l1 := s.l1[cuID]
+	set := l1.Index(addr)
+	tag := l1.Tag(addr)
+	if _, hit := l1.Lookup(set, tag); hit {
+		return
+	}
+	way, ok := l1.Victim(set, nil)
+	if !ok {
+		return
+	}
+	l1.Install(set, way, tag)
+}

@@ -1,0 +1,60 @@
+// Package killi implements the paper's contribution: runtime LV fault
+// classification for a write-through cache using Detected Fault History
+// (DFH) bits, decoupled parity-based detection, and an on-demand ECC cache
+// — no MBIST anywhere.
+//
+// Per-line protection follows Table 1:
+//
+//	DFH b'00  stable, 0 faults   4-bit segmented parity
+//	DFH b'01  initial, unknown   16-bit segmented parity + SECDED ECC
+//	DFH b'10  stable, 1 fault    4-bit parity + SECDED ECC
+//	DFH b'11  disabled           (≥2 faults; unusable until DFH reset)
+//
+// The 16 parity bits of an unknown line are split 4 in the cache proper and
+// 12 in the ECC cache next to the 11 SECDED checkbits; once the line is
+// classified the ECC cache entry is freed (b'00) or retained (b'10) and the
+// cache-resident parity becomes a 4-bit fold over 128-bit segments.
+//
+// Classification happens on load hits and evictions by combining three
+// signals (Table 2): segmented parity (S), the SECDED syndrome, and the
+// SECDED global parity (G). The package also implements the paper's
+// optional extensions: a DECTED-in-the-ECC-cache mode that reuses the 12
+// freed parity bits to store a 21-bit DECTED code (§5.2), and inverted-data
+// retraining that closes the multi-bit masked-fault window (§5.6.2).
+package killi
+
+import "fmt"
+
+// DFH is the two-bit Detected Fault History state of a cache line
+// (Table 1).
+type DFH int
+
+const (
+	// Stable0 (b'00): zero known faults; 4-bit parity only.
+	Stable0 DFH = 0
+	// Initial (b'01): unknown fault count; 16-bit parity + SECDED.
+	Initial DFH = 1
+	// Stable1 (b'10): one known fault; 4-bit parity + SECDED.
+	Stable1 DFH = 2
+	// Disabled (b'11): two or more faults; line unusable until DFH reset.
+	Disabled DFH = 3
+)
+
+// String renders the DFH state in the paper's b'xx notation.
+func (d DFH) String() string {
+	switch d {
+	case Stable0:
+		return "b'00"
+	case Initial:
+		return "b'01"
+	case Stable1:
+		return "b'10"
+	case Disabled:
+		return "b'11"
+	default:
+		return fmt.Sprintf("killi.DFH(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is one of the four architected states.
+func (d DFH) Valid() bool { return d >= Stable0 && d <= Disabled }

@@ -1,0 +1,123 @@
+package killi
+
+import (
+	"testing"
+)
+
+func TestECCCacheSizing(t *testing.T) {
+	cases := []struct {
+		l2Lines, ratio, assoc int
+		wantEntries           int
+	}{
+		{32768, 16, 4, 2048},
+		{32768, 256, 4, 128},
+		{32768, 64, 4, 512},
+		{16, 4, 4, 4},  // exactly one set
+		{16, 32, 4, 4}, // clamps to at least one set of assoc entries
+	}
+	for _, c := range cases {
+		e := newECCCache(c.l2Lines, c.ratio, c.assoc)
+		if got := e.Entries(); got != c.wantEntries {
+			t.Errorf("newECCCache(%d, %d, %d).Entries() = %d, want %d",
+				c.l2Lines, c.ratio, c.assoc, got, c.wantEntries)
+		}
+	}
+}
+
+func TestECCCacheAllocateReusesExisting(t *testing.T) {
+	e := newECCCache(64, 4, 4) // 16 entries, 4 sets
+	entry1, ev, _ := e.allocate(0, 100)
+	if ev != -1 {
+		t.Fatal("first allocation evicted")
+	}
+	entry1.parity12 = 0xabc
+	entry2, ev, _ := e.allocate(0, 100)
+	if ev != -1 {
+		t.Fatal("re-allocation evicted")
+	}
+	if entry2.parity12 != 0xabc {
+		t.Fatal("re-allocation returned a different entry")
+	}
+	if e.occupancy() != 1 {
+		t.Fatalf("occupancy = %d", e.occupancy())
+	}
+}
+
+func TestECCCacheEvictionReportsVictimAndOldEntry(t *testing.T) {
+	e := newECCCache(16, 4, 4) // 4 entries, 1 set
+	for i := 0; i < 4; i++ {
+		entry, ev, _ := e.allocate(0, 100+i)
+		entry.parity12 = uint16(i)
+		if ev != -1 {
+			t.Fatalf("allocation %d evicted", i)
+		}
+	}
+	// Fifth allocation evicts the LRU (line 100) and hands back its
+	// metadata.
+	_, ev, old := e.allocate(0, 200)
+	if ev != 100 {
+		t.Fatalf("evicted line %d, want 100", ev)
+	}
+	if old.parity12 != 0 {
+		t.Fatalf("old entry parity = %#x, want 0 (line 100's)", old.parity12)
+	}
+}
+
+func TestECCCacheTouchProtectsFromEviction(t *testing.T) {
+	e := newECCCache(16, 4, 4)
+	for i := 0; i < 4; i++ {
+		e.allocate(0, 100+i)
+	}
+	// Touch the would-be LRU.
+	if _, set, way, hit := e.lookup(0, 100); !hit {
+		t.Fatal("lookup failed")
+	} else {
+		e.touch(set, way)
+	}
+	_, ev, _ := e.allocate(0, 200)
+	if ev == 100 {
+		t.Fatal("touched entry evicted")
+	}
+}
+
+func TestECCCacheInvalidate(t *testing.T) {
+	e := newECCCache(16, 4, 4)
+	e.allocate(0, 5)
+	e.invalidate(0, 5)
+	if _, _, _, hit := e.lookup(0, 5); hit {
+		t.Fatal("entry alive after invalidate")
+	}
+	if e.occupancy() != 0 {
+		t.Fatal("occupancy nonzero after invalidate")
+	}
+	// Invalidating a missing entry is a no-op.
+	e.invalidate(0, 99)
+}
+
+func TestECCCacheReset(t *testing.T) {
+	e := newECCCache(64, 4, 4)
+	for i := 0; i < 10; i++ {
+		entry, _, _ := e.allocate(i%4, i)
+		entry.parity12 = 0xfff
+	}
+	e.reset()
+	if e.occupancy() != 0 {
+		t.Fatal("occupancy after reset")
+	}
+	entry, _, _ := e.allocate(0, 0)
+	if entry.parity12 != 0 {
+		t.Fatal("reset left stale metadata")
+	}
+}
+
+func TestECCCacheSetAliasing(t *testing.T) {
+	// Disjoint L2 sets alias onto the same ECC set — the contention the
+	// paper describes. With 4 ECC sets, L2 sets 0 and 4 must share.
+	e := newECCCache(64, 4, 4)
+	if e.setFor(0) != e.setFor(4) {
+		t.Fatal("L2 sets 0 and 4 do not alias with 4 ECC sets")
+	}
+	if e.setFor(0) == e.setFor(1) {
+		t.Fatal("adjacent L2 sets should map to different ECC sets")
+	}
+}

@@ -1,0 +1,361 @@
+package killi
+
+// Exhaustive tests for the paper's Table 2: every reachable row of the DFH
+// transition table, driven through real fault injection rather than by
+// poking the FSM directly.
+
+import (
+	"testing"
+
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+	"killi/internal/protection"
+	"killi/internal/xrand"
+)
+
+// row helper: build host+scheme with given faults on line (0,0), fill with
+// data, optionally mutate, then read-hit and check verdict+state.
+type table2Case struct {
+	name    string
+	faults  []faultmodel.Fault
+	data    func(r *xrand.Rand) bitvec.Line
+	mutate  func(h *testHost, k *Scheme, id int) // after classification
+	preHits int                                  // classification hits before the checked one
+	want    protection.Verdict
+	wantDFH DFH
+}
+
+func runTable2(t *testing.T, tc table2Case) {
+	t.Helper()
+	h := newHost(t, 4, 4, [][]faultmodel.Fault{tc.faults}, 0.625)
+	k := attach(h, Config{Ratio: 1}, 0.625)
+	r := xrand.New(99)
+	data := tc.data(r)
+	fill(h, k, 0, 0, data)
+	id := h.tags.LineID(0, 0)
+	for i := 0; i < tc.preHits; i++ {
+		got := h.data.Read(id)
+		if v := k.OnReadHit(0, 0, &got); v != protection.Deliver {
+			t.Fatalf("pre-hit %d: verdict %v", i, v)
+		}
+	}
+	if tc.mutate != nil {
+		tc.mutate(h, k, id)
+	}
+	got := h.data.Read(id)
+	v := k.OnReadHit(0, 0, &got)
+	if v != tc.want {
+		t.Fatalf("verdict %v, want %v", v, tc.want)
+	}
+	if dfh := k.DFHOf(0, 0); dfh != tc.wantDFH {
+		t.Fatalf("DFH %v, want %v", dfh, tc.wantDFH)
+	}
+	if v == protection.Deliver && got != h.data.ReadTrue(id) {
+		t.Fatal("delivered data differs from ground truth")
+	}
+}
+
+func zeroLine(r *xrand.Rand) bitvec.Line { return bitvec.Line{} }
+
+func TestTable2Row_00_Clean(t *testing.T) {
+	// b'00, S✓ → send clean line, stay b'00.
+	runTable2(t, table2Case{
+		data:    randomLine,
+		preHits: 1, // classify to b'00
+		want:    protection.Deliver,
+		wantDFH: Stable0,
+	})
+}
+
+func TestTable2Row_00_SingleMismatch(t *testing.T) {
+	// b'00, S✗ → error-induced miss, back to b'01 ("initial
+	// classification incorrect").
+	runTable2(t, table2Case{
+		data:    randomLine,
+		preHits: 1,
+		mutate: func(h *testHost, k *Scheme, id int) {
+			h.data.InjectSoftError(id, 42)
+		},
+		want:    protection.ErrorMiss,
+		wantDFH: Initial,
+	})
+}
+
+func TestTable2Row_00_MultiMismatch(t *testing.T) {
+	// b'00, S✗✗ → disable ("multi-bit error discovered after training").
+	runTable2(t, table2Case{
+		data:    randomLine,
+		preHits: 1,
+		mutate: func(h *testHost, k *Scheme, id int) {
+			h.data.InjectSoftError(id, 0) // fold segment 0
+			h.data.InjectSoftError(id, 1) // fold segment 1
+		},
+		want:    protection.ErrorMiss,
+		wantDFH: Disabled,
+	})
+}
+
+func TestTable2Row_01_NoError(t *testing.T) {
+	// b'01, ✓✓✓ → invalidate ECC entry, send clean, b'00. "Most frequent
+	// scenario."
+	runTable2(t, table2Case{
+		data:    randomLine,
+		want:    protection.Deliver,
+		wantDFH: Stable0,
+	})
+}
+
+func TestTable2Row_01_OneBitLVError(t *testing.T) {
+	// b'01, ✗✗✗ → correct using checkbits, b'10.
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(13, 1)},
+		data:    zeroLine,
+		want:    protection.Deliver,
+		wantDFH: Stable1,
+	})
+}
+
+func TestTable2Row_01_SameSegmentDouble(t *testing.T) {
+	// b'01, S✓ (both errors share interleaved segment 0), syndrome ✗,
+	// G✓ → "even number of errors" → b'11. ECC catches what parity
+	// misses.
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(0, 1), stuck(16, 1)},
+		data:    zeroLine,
+		want:    protection.ErrorMiss,
+		wantDFH: Disabled,
+	})
+}
+
+func TestTable2Row_01_CrossSegmentDouble(t *testing.T) {
+	// b'01, S✗✗, syndrome ✗, G✓ → "multi-bit error" → b'11.
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(0, 1), stuck(5, 1)},
+		data:    zeroLine,
+		want:    protection.ErrorMiss,
+		wantDFH: Disabled,
+	})
+}
+
+func TestTable2Row_01_OddMultiBit(t *testing.T) {
+	// b'01, S✗✗, G✗ → "odd number of multi-bit errors" → b'11.
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(0, 1), stuck(5, 1), stuck(9, 1)},
+		data:    zeroLine,
+		want:    protection.ErrorMiss,
+		wantDFH: Disabled,
+	})
+}
+
+func TestTable2Row_01_ForgedSingleErrorSignatureCaught(t *testing.T) {
+	// Three errors, two sharing an interleaved segment: the signature
+	// (S✗ single, syndrome ✗, G✗ odd) mimics the 1-bit row, but the
+	// post-correction parity recheck must catch the SECDED miscorrection
+	// and disable the line (§5.3's joint parity∧SECDED detection).
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(0, 1), stuck(16, 1), stuck(5, 1)},
+		data:    zeroLine,
+		want:    protection.ErrorMiss,
+		wantDFH: Disabled,
+	})
+}
+
+func TestTable2Row_10_ErrorVanished(t *testing.T) {
+	// b'10, ✓✓✓ → b'00 ("non-LV transient error that was subsequently
+	// overwritten"). Emulate with a severity-thresholded fault that
+	// deactivates when the voltage rises mid-run... simpler: a soft error
+	// classified as the "LV fault", then overwritten by a store.
+	h := newHost(t, 4, 4, nil, 0.625)
+	k := attach(h, Config{Ratio: 1}, 0.625)
+	id := h.tags.LineID(0, 0)
+	data := randomLine(xrand.New(5))
+	fill(h, k, 0, 0, data)
+	h.data.InjectSoftError(id, 99) // transient masquerading as LV fault
+	got := h.data.Read(id)
+	if v := k.OnReadHit(0, 0, &got); v != protection.Deliver || k.DFHOf(0, 0) != Stable1 {
+		t.Fatalf("setup: %v / %v", v, k.DFHOf(0, 0))
+	}
+	// The write-through store overwrites the transient.
+	h.data.Write(id, data)
+	k.OnWriteHit(0, 0, data)
+	got = h.data.Read(id)
+	if v := k.OnReadHit(0, 0, &got); v != protection.Deliver {
+		t.Fatalf("verdict %v", v)
+	}
+	if k.DFHOf(0, 0) != Stable0 {
+		t.Fatalf("DFH %v, want b'00", k.DFHOf(0, 0))
+	}
+	if k.ECCOccupancy() != 0 {
+		t.Fatal("ECC entry not invalidated on b'10→b'00")
+	}
+}
+
+func TestTable2Row_10_SingleBitLVError(t *testing.T) {
+	// b'10, don't-care S, syndrome ✗, G✗ → correct, stay b'10.
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(200, 0)},
+		data:    func(r *xrand.Rand) bitvec.Line { l := randomLine(r); l.SetBit(200, 1); return l },
+		preHits: 1, // classify to b'10
+		want:    protection.Deliver,
+		wantDFH: Stable1,
+	})
+}
+
+func TestTable2Row_10_ExtraErrorDisables(t *testing.T) {
+	// b'10 + an additional error (S✗✗, syndrome ✗/✓, G✓) → b'11.
+	runTable2(t, table2Case{
+		faults:  []faultmodel.Fault{stuck(200, 0)},
+		data:    func(r *xrand.Rand) bitvec.Line { l := randomLine(r); l.SetBit(200, 1); return l },
+		preHits: 1,
+		mutate: func(h *testHost, k *Scheme, id int) {
+			h.data.InjectSoftError(id, 7)
+		},
+		want:    protection.ErrorMiss,
+		wantDFH: Disabled,
+	})
+}
+
+func TestTable2Row_11_NeverAccessed(t *testing.T) {
+	// b'11: lookups must miss and the victim policy must never pick the
+	// line.
+	faults := [][]faultmodel.Fault{{stuck(0, 1), stuck(1, 1)}}
+	h := newHost(t, 1, 2, faults, 0.625)
+	k := attach(h, Config{Ratio: 1}, 0.625)
+	var data bitvec.Line
+	fill(h, k, 0, 0, data)
+	got := h.data.Read(0)
+	k.OnReadHit(0, 0, &got) // disables way 0
+	if k.DFHOf(0, 0) != Disabled {
+		t.Fatal("setup failed")
+	}
+	if _, hit := h.tags.Lookup(0, 0); hit {
+		t.Fatal("disabled line produced a hit")
+	}
+	for i := 0; i < 10; i++ {
+		way, ok := h.tags.Victim(0, k.VictimFunc())
+		if !ok || way == 0 {
+			t.Fatalf("victim picked disabled way (way=%d ok=%v)", way, ok)
+		}
+		h.tags.Install(0, way, uint64(i+10))
+		h.data.Write(h.tags.LineID(0, way), data)
+		k.OnFill(0, way, data)
+	}
+}
+
+func TestClassificationSoundnessProperty(t *testing.T) {
+	// Property over random fault patterns (0–5 stuck cells, random data):
+	//
+	//   - within design strength (≤2 faults) a Deliver verdict is always
+	//     exact;
+	//   - beyond it, a corrupt delivery may only occur through the §5.3
+	//     joint-failure window: SECDED fails (≥3 visible errors) AND the
+	//     visible error pattern leaves at most one interleaved-16 segment
+	//     with an odd error count. Anything else is an implementation bug.
+	//
+	// Note the test samples fault counts uniformly, which makes the ≥3
+	// window ~10^5 times more likely than the field distribution at
+	// 0.625×VDD — the escapes observed here are the ones Figure 6's
+	// near-100% (not exactly 100%) coverage quantifies.
+	r := xrand.New(123)
+	escapes := 0
+	for trial := 0; trial < 1500; trial++ {
+		n := r.Intn(6)
+		faults := make([]faultmodel.Fault, 0, n)
+		for _, b := range r.Sample(bitvec.LineBits, n) {
+			faults = append(faults, stuck(b, uint(r.Uint64()&1)))
+		}
+		h := newHost(t, 1, 1, [][]faultmodel.Fault{faults}, 0.625)
+		k := attach(h, Config{Ratio: 1}, 0.625)
+		data := randomLine(r)
+		fill(h, k, 0, 0, data)
+		got := h.data.Read(0)
+		v := k.OnReadHit(0, 0, &got)
+		if v != protection.Deliver || got == data {
+			continue
+		}
+		escapes++
+		// Corrupt delivery: verify it is the documented window.
+		visible := 0
+		segOdd := map[int]int{}
+		for _, f := range faults {
+			if data.Bit(f.Bit) != f.StuckAt {
+				visible++
+				segOdd[f.Bit%16]++
+			}
+		}
+		oddSegs := 0
+		for _, c := range segOdd {
+			if c%2 == 1 {
+				oddSegs++
+			}
+		}
+		if visible < 3 {
+			t.Fatalf("trial %d: corrupt delivery with only %d visible errors (within SECDED strength)", trial, visible)
+		}
+		if oddSegs > 1 {
+			t.Fatalf("trial %d: corrupt delivery with %d odd segments — parity should have flagged multi-bit", trial, oddSegs)
+		}
+	}
+	if escapes > 20 {
+		t.Fatalf("%d corrupt deliveries in 1500 adversarial trials; window too wide", escapes)
+	}
+}
+
+func TestInvertedTrainingSoundnessStrict(t *testing.T) {
+	// With §5.6.2 inverted training, the polarity check counts every
+	// stuck cell before any stable classification, so Deliver is exact
+	// for ALL stuck-at patterns (no soft errors here).
+	r := xrand.New(456)
+	for trial := 0; trial < 1500; trial++ {
+		n := r.Intn(6)
+		faults := make([]faultmodel.Fault, 0, n)
+		for _, b := range r.Sample(bitvec.LineBits, n) {
+			faults = append(faults, stuck(b, uint(r.Uint64()&1)))
+		}
+		h := newHost(t, 1, 1, [][]faultmodel.Fault{faults}, 0.625)
+		k := attach(h, Config{Ratio: 1, InvertedTraining: true}, 0.625)
+		data := randomLine(r)
+		fill(h, k, 0, 0, data)
+		got := h.data.Read(0)
+		if v := k.OnReadHit(0, 0, &got); v == protection.Deliver && got != data {
+			t.Fatalf("trial %d (%d faults): inverted training delivered corrupt data", trial, n)
+		}
+	}
+}
+
+func TestClassificationEventuallyStable(t *testing.T) {
+	// Repeated hits on any line must reach a stable state (no infinite
+	// oscillation at fixed data): after at most a few transitions the DFH
+	// stops changing.
+	r := xrand.New(321)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(4)
+		faults := make([]faultmodel.Fault, 0, n)
+		for _, b := range r.Sample(bitvec.LineBits, n) {
+			faults = append(faults, stuck(b, uint(r.Uint64()&1)))
+		}
+		h := newHost(t, 1, 1, [][]faultmodel.Fault{faults}, 0.625)
+		k := attach(h, Config{Ratio: 1}, 0.625)
+		data := randomLine(r)
+		fill(h, k, 0, 0, data)
+		prev := k.DFHOf(0, 0)
+		changes := 0
+		for i := 0; i < 10; i++ {
+			if h.tags.Entry(0, 0).Disabled {
+				break
+			}
+			if !h.tags.Entry(0, 0).Valid {
+				fill(h, k, 0, 0, data) // refetch after an error miss
+			}
+			got := h.data.Read(0)
+			k.OnReadHit(0, 0, &got)
+			if cur := k.DFHOf(0, 0); cur != prev {
+				changes++
+				prev = cur
+			}
+		}
+		if changes > 3 {
+			t.Fatalf("trial %d: DFH changed %d times on fixed data", trial, changes)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package protection
+
+import (
+	"killi/internal/bitvec"
+	"killi/internal/cache"
+	"killi/internal/ecc"
+)
+
+// FLAIR models Qureshi & Chishti's FLAIR (DSN'13): SECDED per line plus
+// Dual Modular Redundancy, with an *online* MBIST pass that tests the cache
+// a few ways at a time while the remaining ways run under DMR.
+//
+// Two operating modes:
+//
+//   - Pre-trained (the paper's Figure 4/5 setup: "we skip training for the
+//     simulations with FLAIR and pre-train their DFH bits"): behaves as
+//     SECDED-per-line with ≥2-fault lines disabled from the first cycle.
+//
+//   - Online training (TrainAccesses > 0): while training, two ways of
+//     each set are under MBIST test and the remaining 14 run in DMR pairs,
+//     so only 7 of 16 ways hold distinct lines — the paper's "cache
+//     capacity is effectively 7/16 of the original". After TrainAccesses
+//     cache accesses the MBIST results land: full associativity returns
+//     and ≥2-fault lines are disabled. This reproduces FLAIR's
+//     training-phase capacity/bandwidth loss that Killi avoids.
+type FLAIR struct {
+	// TrainAccesses is the number of cache accesses the online MBIST pass
+	// needs. Zero means pre-trained.
+	TrainAccesses uint64
+
+	h        Host
+	codec    ecc.Codec
+	check    []ecc.Check
+	accesses uint64
+	training bool
+}
+
+// NewFLAIR returns a pre-trained FLAIR instance.
+func NewFLAIR() *FLAIR { return &FLAIR{} }
+
+// NewFLAIROnline returns a FLAIR instance that trains online for the given
+// number of cache accesses.
+func NewFLAIROnline(trainAccesses uint64) *FLAIR {
+	return &FLAIR{TrainAccesses: trainAccesses}
+}
+
+// Name implements Scheme.
+func (f *FLAIR) Name() string { return "flair" }
+
+// Attach implements Scheme.
+func (f *FLAIR) Attach(h Host) {
+	f.h = h
+	f.codec = ecc.SECDED()
+	f.check = make([]ecc.Check, h.Tags().Config().Lines())
+}
+
+// Training reports whether the online MBIST pass is still running.
+func (f *FLAIR) Training() bool { return f.training }
+
+// Reset implements Scheme.
+func (f *FLAIR) Reset(vNorm float64) {
+	f.accesses = 0
+	if f.TrainAccesses == 0 {
+		f.training = false
+		f.applyMBIST()
+		return
+	}
+	f.training = true
+	tags := f.h.Tags()
+	ways := tags.Config().Ways
+	usable := ways/2 - 1 // DMR halves capacity; two more ways are under test
+	if usable < 1 {
+		usable = 1
+	}
+	tags.ForEach(func(set, way int, e *cache.Entry) {
+		e.Valid = false
+		e.Disabled = way >= usable
+	})
+}
+
+// applyMBIST installs the MBIST verdicts: disable every line with more
+// faults than SECDED corrects, enable the rest.
+func (f *FLAIR) applyMBIST() {
+	tags := f.h.Tags()
+	data := f.h.Data()
+	tags.ForEach(func(set, way int, e *cache.Entry) {
+		id := tags.LineID(set, way)
+		wasDisabled := e.Disabled
+		e.Disabled = data.ActiveFaultCount(id) > f.codec.CorrectsUpTo()
+		if e.Disabled {
+			f.h.Stats().Inc("protection.lines_disabled")
+			e.Valid = false
+		} else if wasDisabled {
+			// Ways freed from MBIST testing return empty.
+			e.Valid = false
+		}
+	})
+}
+
+// tick advances the training access counter and completes training when
+// the MBIST budget is spent.
+func (f *FLAIR) tick() {
+	if !f.training {
+		return
+	}
+	f.accesses++
+	if f.accesses >= f.TrainAccesses {
+		f.training = false
+		f.applyMBIST()
+		f.h.Stats().Inc("flair.training_completed")
+	}
+}
+
+// VictimFunc implements Scheme.
+func (f *FLAIR) VictimFunc() cache.VictimFunc { return nil }
+
+// OnFill implements Scheme.
+func (f *FLAIR) OnFill(set, way int, data bitvec.Line) {
+	f.tick()
+	id := f.h.Tags().LineID(set, way)
+	f.check[id] = f.codec.Encode(data)
+}
+
+// OnReadHit implements Scheme.
+func (f *FLAIR) OnReadHit(set, way int, data *bitvec.Line) Verdict {
+	f.tick()
+	id := f.h.Tags().LineID(set, way)
+	out := f.codec.Decode(data, f.check[id])
+	switch out.Status {
+	case ecc.OK:
+		return Deliver
+	case ecc.Corrected:
+		f.h.Stats().Inc("protection.corrected_reads")
+		return Deliver
+	default:
+		f.h.Stats().Inc("protection.error_induced_miss")
+		tags := f.h.Tags()
+		if !f.training {
+			// Steady state: a detected-uncorrectable pattern means the
+			// MBIST characterization missed this line (e.g. a masked fault
+			// unmasked, or a soft error on a 1-fault line, §2.3); disable
+			// it defensively.
+			tags.Entry(set, way).Disabled = true
+			f.h.Stats().Inc("protection.lines_disabled")
+		}
+		tags.Invalidate(set, way)
+		return ErrorMiss
+	}
+}
+
+// OnWriteHit implements Scheme.
+func (f *FLAIR) OnWriteHit(set, way int, data bitvec.Line) {
+	id := f.h.Tags().LineID(set, way)
+	f.check[id] = f.codec.Encode(data)
+}
+
+// OnEvict implements Scheme.
+func (f *FLAIR) OnEvict(set, way int) {}

@@ -1,0 +1,143 @@
+// Package sram models a bit-level SRAM data array operating under low
+// voltage.
+//
+// The array stores true (intended) line payloads and applies its persistent
+// stuck-at fault population when a line is read, so:
+//
+//   - masked faults arise naturally: a stuck-at-v cell holding data bit v
+//     corrupts nothing until the data changes (§5.6.2 of the paper);
+//   - faults are persistent: the same cells corrupt every access at a given
+//     voltage (§3);
+//   - raising the voltage deactivates the higher-severity faults
+//     (monotonicity), which is how Killi reclaims disabled lines.
+//
+// Soft errors (transient bit flips) are injected by flipping the stored
+// payload itself; unlike LV faults they disappear on the next write.
+//
+// Per the paper's dual-rail design (§2.4), the tag array runs at nominal
+// voltage, so only the data array modeled here experiences LV faults.
+package sram
+
+import (
+	"fmt"
+
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+)
+
+// Array is a low-voltage SRAM data array of fixed-size 64-byte lines.
+// Construct with New.
+type Array struct {
+	lines   []bitvec.Line
+	faults  *faultmodel.Map
+	voltage float64
+	// active caches the active fault list per line at the current
+	// voltage; rebuilt on SetVoltage.
+	active [][]faultmodel.Fault
+	// injected holds lifetime (aging) faults added after construction;
+	// they are active at every voltage and survive voltage changes.
+	injected [][]faultmodel.Fault
+}
+
+// New returns an array of n lines using the given persistent fault map,
+// initially operating at voltage vNorm. The fault map must cover at least n
+// lines of 512 bits.
+func New(n int, faults *faultmodel.Map, vNorm float64) *Array {
+	if faults.Lines() < n {
+		panic(fmt.Sprintf("sram: fault map covers %d lines, need %d", faults.Lines(), n))
+	}
+	if faults.BitsPerLine() != bitvec.LineBits {
+		panic("sram: fault map is not 512 bits per line")
+	}
+	a := &Array{
+		lines:   make([]bitvec.Line, n),
+		faults:  faults,
+		voltage: vNorm,
+	}
+	a.rebuildActive()
+	return a
+}
+
+// Lines returns the number of lines in the array.
+func (a *Array) Lines() int { return len(a.lines) }
+
+// Voltage returns the current normalized operating voltage.
+func (a *Array) Voltage() float64 { return a.voltage }
+
+// SetVoltage changes the operating voltage, recomputing which persistent
+// faults are active. Stored data is preserved (the true payloads; whether
+// they read back correctly depends on the new fault set).
+func (a *Array) SetVoltage(vNorm float64) {
+	a.voltage = vNorm
+	a.rebuildActive()
+}
+
+func (a *Array) rebuildActive() {
+	a.active = make([][]faultmodel.Fault, len(a.lines))
+	for i := range a.lines {
+		a.active[i] = a.faults.ActiveFaults(i, a.voltage)
+		if a.injected != nil {
+			a.active[i] = append(a.active[i], a.injected[i]...)
+		}
+	}
+}
+
+// Write stores data into line i. The true payload is retained; corruption
+// is applied on read, which keeps fault application idempotent and lets
+// masked faults unmask when the data changes.
+func (a *Array) Write(i int, data bitvec.Line) {
+	a.lines[i] = data
+}
+
+// Read returns the line as the failing cells present it: every active
+// stuck-at fault overrides its bit.
+func (a *Array) Read(i int) bitvec.Line {
+	out := a.lines[i]
+	for _, f := range a.active[i] {
+		out.SetBit(f.Bit, f.StuckAt)
+	}
+	return out
+}
+
+// ReadTrue returns the stored payload without fault application — the
+// value a fault-free array would return. Simulation harnesses use it to
+// check for silent data corruption; hardware has no such port.
+func (a *Array) ReadTrue(i int) bitvec.Line { return a.lines[i] }
+
+// ActiveFaultCount returns the number of active persistent faults in
+// line i at the current voltage.
+func (a *Array) ActiveFaultCount(i int) int { return len(a.active[i]) }
+
+// UnmaskedFaultCount returns the number of active faults in line i whose
+// stuck value currently differs from the stored data — the faults that are
+// observable right now.
+func (a *Array) UnmaskedFaultCount(i int) int {
+	n := 0
+	for _, f := range a.active[i] {
+		if a.lines[i].Bit(f.Bit) != f.StuckAt {
+			n++
+		}
+	}
+	return n
+}
+
+// InjectSoftError flips bit within the stored payload of line i, modeling a
+// transient particle strike. Unlike a persistent fault it is erased by the
+// next Write.
+func (a *Array) InjectSoftError(i, bit int) {
+	a.lines[i].FlipBit(bit)
+}
+
+// InjectPersistentFault adds a new always-active stuck-at fault to line i,
+// modeling an aging (wear-out) failure that appears during the chip's
+// lifetime. The paper notes Killi "responds to transient, ageing, and
+// high-voltage errors the same way": the new fault surfaces as a parity
+// mismatch on some later access and the line relearns its DFH state.
+func (a *Array) InjectPersistentFault(i, bit int, stuckAt uint) {
+	if a.injected == nil {
+		a.injected = make([][]faultmodel.Fault, len(a.lines))
+	}
+	f := faultmodel.Fault{Bit: bit, StuckAt: stuckAt & 1}
+	a.injected[i] = append(a.injected[i], f)
+	a.active[i] = append(a.active[i], f)
+}

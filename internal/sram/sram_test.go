@@ -1,0 +1,254 @@
+package sram
+
+import (
+	"testing"
+
+	"killi/internal/bitvec"
+	"killi/internal/faultmodel"
+	"killi/internal/xrand"
+)
+
+func newTestArray(t *testing.T, seed uint64, lines int, v float64) *Array {
+	t.Helper()
+	fm := faultmodel.NewMap(xrand.New(seed), faultmodel.Default(), lines, bitvec.LineBits, 0.5, 1.0)
+	return New(lines, fm, v)
+}
+
+func randomLine(r *xrand.Rand) bitvec.Line {
+	var l bitvec.Line
+	for w := range l {
+		l[w] = r.Uint64()
+	}
+	return l
+}
+
+func TestFaultFreeRoundTrip(t *testing.T) {
+	a := newTestArray(t, 1, 100, 1.0) // nominal voltage: no active faults
+	r := xrand.New(2)
+	for i := 0; i < a.Lines(); i++ {
+		l := randomLine(r)
+		a.Write(i, l)
+		if got := a.Read(i); got != l {
+			t.Fatalf("line %d: read != write at nominal voltage", i)
+		}
+	}
+}
+
+func TestStuckAtCorruption(t *testing.T) {
+	a := newTestArray(t, 3, 2000, 0.55)
+	r := xrand.New(4)
+	sawCorruption := false
+	for i := 0; i < a.Lines(); i++ {
+		l := randomLine(r)
+		a.Write(i, l)
+		got := a.Read(i)
+		diff := got.DiffBits(l)
+		if len(diff) != a.UnmaskedFaultCount(i) {
+			t.Fatalf("line %d: %d corrupted bits, %d unmasked faults", i, len(diff), a.UnmaskedFaultCount(i))
+		}
+		if len(diff) > a.ActiveFaultCount(i) {
+			t.Fatalf("line %d: more corrupted bits than active faults", i)
+		}
+		if len(diff) > 0 {
+			sawCorruption = true
+		}
+	}
+	if !sawCorruption {
+		t.Fatal("no corruption at 0.55×VDD across 2000 lines; fault injection broken")
+	}
+}
+
+func TestFaultPersistence(t *testing.T) {
+	// The same cells must corrupt on every read: two reads of the same
+	// data agree, and rewriting identical data reproduces corruption.
+	a := newTestArray(t, 5, 500, 0.55)
+	r := xrand.New(6)
+	for i := 0; i < a.Lines(); i++ {
+		l := randomLine(r)
+		a.Write(i, l)
+		first := a.Read(i)
+		second := a.Read(i)
+		if first != second {
+			t.Fatalf("line %d: reads not deterministic", i)
+		}
+		a.Write(i, l)
+		if a.Read(i) != first {
+			t.Fatalf("line %d: rewrite changed fault behaviour", i)
+		}
+	}
+}
+
+func TestMaskedFaultUnmasksOnDataChange(t *testing.T) {
+	// Find a line with at least one active fault; write data matching the
+	// stuck value (masked), then invert it (unmasked).
+	a := newTestArray(t, 7, 5000, 0.55)
+	found := false
+	for i := 0; i < a.Lines() && !found; i++ {
+		if a.ActiveFaultCount(i) == 0 {
+			continue
+		}
+		found = true
+		f := a.faults.ActiveFaults(i, a.Voltage())[0]
+		var l bitvec.Line
+		l.SetBit(f.Bit, f.StuckAt) // masked
+		a.Write(i, l)
+		if a.Read(i).Bit(f.Bit) != f.StuckAt {
+			t.Fatal("masked fault corrupted matching data")
+		}
+		if a.UnmaskedFaultCount(i) > a.ActiveFaultCount(i)-1+1 {
+			t.Fatal("unmasked accounting wrong")
+		}
+		l.SetBit(f.Bit, f.StuckAt^1) // unmasked
+		a.Write(i, l)
+		if a.Read(i).Bit(f.Bit) != f.StuckAt {
+			t.Fatal("stuck-at cell returned written value")
+		}
+	}
+	if !found {
+		t.Fatal("no faulty line found at 0.55×VDD")
+	}
+}
+
+func TestVoltageRaiseDeactivatesFaults(t *testing.T) {
+	a := newTestArray(t, 8, 3000, 0.55)
+	lowCounts := make([]int, a.Lines())
+	for i := range lowCounts {
+		lowCounts[i] = a.ActiveFaultCount(i)
+	}
+	a.SetVoltage(0.9)
+	for i := 0; i < a.Lines(); i++ {
+		if a.ActiveFaultCount(i) > lowCounts[i] {
+			t.Fatalf("line %d gained faults when voltage rose", i)
+		}
+	}
+	// At 0.9×VDD essentially everything is fault-free.
+	faulty := 0
+	for i := 0; i < a.Lines(); i++ {
+		if a.ActiveFaultCount(i) > 0 {
+			faulty++
+		}
+	}
+	if faulty > 1 {
+		t.Fatalf("%d faulty lines at 0.9×VDD", faulty)
+	}
+}
+
+func TestVoltageChangePreservesData(t *testing.T) {
+	a := newTestArray(t, 9, 100, 0.55)
+	r := xrand.New(10)
+	want := make([]bitvec.Line, a.Lines())
+	for i := range want {
+		want[i] = randomLine(r)
+		a.Write(i, want[i])
+	}
+	a.SetVoltage(1.0)
+	for i := range want {
+		if a.Read(i) != want[i] {
+			t.Fatalf("line %d: data lost across voltage change", i)
+		}
+	}
+}
+
+func TestSoftErrorTransient(t *testing.T) {
+	a := newTestArray(t, 11, 10, 1.0)
+	var l bitvec.Line
+	a.Write(0, l)
+	a.InjectSoftError(0, 37)
+	if a.Read(0).Bit(37) != 1 {
+		t.Fatal("soft error not visible")
+	}
+	a.Write(0, l) // rewrite clears the transient
+	if a.Read(0).Bit(37) != 0 {
+		t.Fatal("soft error survived a write")
+	}
+}
+
+func TestSoftErrorOnStuckCellInvisible(t *testing.T) {
+	// A soft error landing on a stuck-at cell does not change what reads
+	// back — the stuck value dominates.
+	a := newTestArray(t, 12, 5000, 0.55)
+	for i := 0; i < a.Lines(); i++ {
+		if a.ActiveFaultCount(i) == 0 {
+			continue
+		}
+		f := a.faults.ActiveFaults(i, a.Voltage())[0]
+		var l bitvec.Line
+		a.Write(i, l)
+		before := a.Read(i).Bit(f.Bit)
+		a.InjectSoftError(i, f.Bit)
+		if a.Read(i).Bit(f.Bit) != before {
+			t.Fatal("stuck cell's read value changed after soft error")
+		}
+		return
+	}
+	t.Fatal("no faulty line found")
+}
+
+func TestReadTrueBypassesFaults(t *testing.T) {
+	a := newTestArray(t, 13, 2000, 0.5)
+	r := xrand.New(14)
+	for i := 0; i < a.Lines(); i++ {
+		l := randomLine(r)
+		a.Write(i, l)
+		if a.ReadTrue(i) != l {
+			t.Fatalf("line %d: ReadTrue altered data", i)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	fm := faultmodel.NewMap(xrand.New(1), faultmodel.Default(), 10, bitvec.LineBits, 0.6, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized fault map did not panic")
+		}
+	}()
+	New(11, fm, 0.6)
+}
+
+func TestNewPanicsWrongWidth(t *testing.T) {
+	fm := faultmodel.NewMap(xrand.New(1), faultmodel.Default(), 10, 256, 0.6, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-width fault map did not panic")
+		}
+	}()
+	New(10, fm, 0.6)
+}
+
+func BenchmarkReadFaulty(b *testing.B) {
+	fm := faultmodel.NewMap(xrand.New(1), faultmodel.Default(), 1024, bitvec.LineBits, 0.575, 1.0)
+	a := New(1024, fm, 0.575)
+	l := randomLine(xrand.New(2))
+	for i := 0; i < a.Lines(); i++ {
+		a.Write(i, l)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Read(i & 1023)
+	}
+}
+
+func TestInjectedPersistentFaultSurvivesVoltageChange(t *testing.T) {
+	a := newTestArray(t, 20, 10, 1.0)
+	var l bitvec.Line
+	a.Write(0, l)
+	a.InjectPersistentFault(0, 33, 1)
+	if a.Read(0).Bit(33) != 1 {
+		t.Fatal("aging fault not visible")
+	}
+	// Unlike a soft error, a rewrite does not clear it.
+	a.Write(0, l)
+	if a.Read(0).Bit(33) != 1 {
+		t.Fatal("aging fault vanished after rewrite")
+	}
+	// And unlike an LV fault, a voltage change does not deactivate it.
+	a.SetVoltage(0.6)
+	if a.Read(0).Bit(33) != 1 {
+		t.Fatal("aging fault vanished after voltage change")
+	}
+	a.SetVoltage(1.0)
+	if a.ActiveFaultCount(0) < 1 {
+		t.Fatal("aging fault missing from active count")
+	}
+}

@@ -1,0 +1,79 @@
+// Package stats collects named counters and derived metrics for simulation
+// runs, with stable deterministic rendering.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named uint64 counters. The zero value is ready to
+// use.
+type Counters struct {
+	m map[string]uint64
+}
+
+// Add increments a counter by n.
+func (c *Counters) Add(name string, n uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += n
+}
+
+// Inc increments a counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns a counter's value (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Snapshot returns a copy of the current counter values, for computing
+// per-phase deltas.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Since returns the counter's increase since a snapshot.
+func (c *Counters) Since(snap map[string]uint64, name string) uint64 {
+	return c.m[name] - snap[name]
+}
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *Counters) String() string {
+	var sb strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&sb, "%-40s %12d\n", n, c.m[n])
+	}
+	return sb.String()
+}
+
+// MPKI computes misses per kilo-instruction.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instructions)
+}
+
+// Ratio returns a/b as float (0 when b is 0).
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("untouched counter nonzero")
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	if c.Get("x") != 5 {
+		t.Fatalf("x = %d", c.Get("x"))
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	var c Counters
+	c.Inc("zeta")
+	c.Inc("alpha")
+	c.Inc("mid")
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestStringContainsAll(t *testing.T) {
+	var c Counters
+	c.Add("hits", 10)
+	c.Add("misses", 3)
+	s := c.String()
+	if !strings.Contains(s, "hits") || !strings.Contains(s, "misses") {
+		t.Fatalf("render missing counters: %q", s)
+	}
+	if strings.Index(s, "hits") > strings.Index(s, "misses") {
+		t.Fatal("render not sorted")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(50, 1000); got != 50 {
+		t.Fatalf("MPKI = %v", got)
+	}
+	if got := MPKI(1, 0); got != 0 {
+		t.Fatalf("MPKI with zero instructions = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+}

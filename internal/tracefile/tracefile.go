@@ -1,0 +1,111 @@
+// Package tracefile reads and writes memory traces in a plain text format,
+// so the simulator can consume address streams captured from real
+// applications instead of the built-in synthetic workloads.
+//
+// Format: one request per line,
+//
+//	<cu> <R|W> <address-hex> <instrs>
+//
+// where cu is the issuing compute unit, address is a byte address (0x
+// prefix optional), and instrs is the instruction count the access
+// represents. Blank lines and lines starting with '#' are ignored.
+//
+//	# cu op addr instrs
+//	0 R 0x40001000 8
+//	0 W 0x40001040 4
+//	1 R 0x80000000 12
+package tracefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"killi/internal/workload"
+)
+
+// Parse reads a trace, returning one request stream per CU. cus sets the
+// stream count; requests naming a CU outside [0, cus) are an error.
+func Parse(r io.Reader, cus int) ([][]workload.Request, error) {
+	if cus <= 0 {
+		return nil, fmt.Errorf("tracefile: cu count %d must be positive", cus)
+	}
+	out := make([][]workload.Request, cus)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tracefile: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		cu, err := strconv.Atoi(fields[0])
+		if err != nil || cu < 0 || cu >= cus {
+			return nil, fmt.Errorf("tracefile: line %d: bad cu %q (have %d CUs)", lineNo, fields[0], cus)
+		}
+		var write bool
+		switch strings.ToUpper(fields[1]) {
+		case "R":
+			write = false
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("tracefile: line %d: op %q is not R or W", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: line %d: bad address %q: %v", lineNo, fields[2], err)
+		}
+		instrs, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil || instrs == 0 {
+			return nil, fmt.Errorf("tracefile: line %d: bad instruction count %q", lineNo, fields[3])
+		}
+		out[cu] = append(out[cu], workload.Request{
+			Addr:   addr,
+			Write:  write,
+			Instrs: uint32(instrs),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracefile: %v", err)
+	}
+	return out, nil
+}
+
+// Write serializes per-CU request streams in the Parse format,
+// interleaving CUs round-robin so replay order roughly matches issue
+// order.
+func Write(w io.Writer, traces [][]workload.Request) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# cu op addr instrs")
+	idx := make([]int, len(traces))
+	for {
+		wrote := false
+		for cu, reqs := range traces {
+			if idx[cu] >= len(reqs) {
+				continue
+			}
+			req := reqs[idx[cu]]
+			idx[cu]++
+			wrote = true
+			op := "R"
+			if req.Write {
+				op = "W"
+			}
+			if _, err := fmt.Fprintf(bw, "%d %s 0x%x %d\n", cu, op, req.Addr, req.Instrs); err != nil {
+				return err
+			}
+		}
+		if !wrote {
+			break
+		}
+	}
+	return bw.Flush()
+}

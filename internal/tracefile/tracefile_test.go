@@ -1,0 +1,108 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"killi/internal/workload"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `
+# comment
+0 R 0x1000 8
+0 W 1040 4
+
+1 r 0x2000 12
+`
+	traces, err := Parse(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces[0]) != 2 || len(traces[1]) != 1 {
+		t.Fatalf("stream lengths %d/%d", len(traces[0]), len(traces[1]))
+	}
+	if traces[0][0] != (workload.Request{Addr: 0x1000, Instrs: 8}) {
+		t.Fatalf("first request %+v", traces[0][0])
+	}
+	if !traces[0][1].Write || traces[0][1].Addr != 0x1040 {
+		t.Fatalf("write request %+v", traces[0][1])
+	}
+	if traces[1][0].Addr != 0x2000 || traces[1][0].Instrs != 12 {
+		t.Fatalf("cu1 request %+v", traces[1][0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad fields": "0 R 0x10",
+		"bad cu":     "9 R 0x10 4",
+		"neg cu":     "-1 R 0x10 4",
+		"bad op":     "0 X 0x10 4",
+		"bad addr":   "0 R zz 4",
+		"zero instr": "0 R 0x10 0",
+		"bad instr":  "0 R 0x10 abc",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in), 2); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+	if _, err := Parse(strings.NewReader(""), 0); err == nil {
+		t.Error("zero CU count accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	w, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := w.Traces(4, 300, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cu := range traces {
+		if len(back[cu]) != len(traces[cu]) {
+			t.Fatalf("cu %d: %d requests, want %d", cu, len(back[cu]), len(traces[cu]))
+		}
+		for i := range traces[cu] {
+			if back[cu][i] != traces[cu][i] {
+				t.Fatalf("cu %d req %d: %+v != %+v", cu, i, back[cu][i], traces[cu][i])
+			}
+		}
+	}
+}
+
+func TestWriteHeaderAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	traces := [][]workload.Request{{{Addr: 0xabc0, Write: true, Instrs: 7}}}
+	if err := Write(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "#") {
+		t.Fatal("missing header comment")
+	}
+	if !strings.Contains(out, "0 W 0xabc0 7") {
+		t.Fatalf("unexpected rendering: %q", out)
+	}
+}
+
+func TestParseEmptyIsEmptyStreams(t *testing.T) {
+	traces, err := Parse(strings.NewReader("# nothing\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cu, reqs := range traces {
+		if len(reqs) != 0 {
+			t.Fatalf("cu %d has %d requests", cu, len(reqs))
+		}
+	}
+}
