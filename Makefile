@@ -1,0 +1,34 @@
+# Tier-1 verification: what CI runs and what every PR must keep green.
+#
+#   make tier1     vet + build + race-enabled tests + the short shape test
+#   make shape     the full Figure 4/5 shape-regression suite (slower)
+#   make bench     one benchmark per paper figure/table
+
+GO ?= go
+
+.PHONY: tier1 vet build test shape shape-full bench
+
+tier1: vet build test shape
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# -race guards the experiment sweep's worker pool; -short keeps the
+# simulation-heavy shape assertions at their scaled-down fast variant.
+test:
+	$(GO) test -race -short ./...
+
+# The short shape-regression test: a scaled-down Figure 4/5 sweep with
+# coarse golden-shape assertions (seconds, not minutes).
+shape:
+	$(GO) test -short -run TestFig45Shape ./internal/experiments
+
+# The full steady-state shape suite (a little over a minute single-core).
+shape-full:
+	$(GO) test -run TestFig45Shape -timeout 30m ./internal/experiments
+
+bench:
+	$(GO) test -bench=. -benchmem

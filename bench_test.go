@@ -76,6 +76,7 @@ func sweep(b *testing.B, workloads []string) []experiments.Row {
 		RequestsPerCU: 2500,
 		Seed:          1,
 		Workloads:     workloads,
+		Parallelism:   -1, // all cores; results identical to serial
 	})
 	if err != nil {
 		b.Fatal(err)

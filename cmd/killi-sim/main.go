@@ -7,13 +7,14 @@
 //	        memory-bound panels (Figure 5)
 //
 // Both figures come from the same sweep; the flag selects what to print.
+// -parallel fans the workload × scheme simulations out over a worker pool
+// (default GOMAXPROCS); results are bit-for-bit identical to -parallel 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"killi/internal/experiments"
 	"killi/internal/workload"
@@ -22,21 +23,28 @@ import (
 func main() {
 	fig := flag.Int("fig", 4, "figure to regenerate (4, 5, or 45 for both)")
 	voltage := flag.Float64("voltage", 0.625, "LV operating point (x VDD)")
-	requests := flag.Int("requests", 4000, "trace requests per CU")
+	requests := flag.Int("requests", 12000, "trace requests per CU")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all ten)")
-	warmup := flag.Int("warmup", 1, "warm-up kernels before the measured run (DFH persists; 0 includes training cost)")
+	warmup := flag.Int("warmup", 2, "warm-up kernels before the measured run (DFH persists; 0 includes training cost)")
+	parallel := flag.Int("parallel", -1, "concurrent simulations (1 = serial, -1 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
+
+	switch *fig {
+	case 4, 5, 45:
+	default:
+		fmt.Fprintf(os.Stderr, "killi-sim: unknown figure %d (want 4, 5, or 45)\n", *fig)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{
 		Voltage:       *voltage,
 		RequestsPerCU: *requests,
 		Seed:          *seed,
 		WarmupKernels: *warmup,
+		Parallelism:   *parallel,
 	}
-	if *workloads != "" {
-		cfg.Workloads = strings.Split(*workloads, ",")
-	}
+	cfg.Workloads = experiments.SplitList(*workloads)
 	rows, err := experiments.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
@@ -51,9 +59,6 @@ func main() {
 		printFig4(rows, *voltage)
 		fmt.Println()
 		printFig5(rows, *voltage)
-	default:
-		fmt.Fprintf(os.Stderr, "killi-sim: unknown figure %d\n", *fig)
-		os.Exit(2)
 	}
 }
 

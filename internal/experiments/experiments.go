@@ -3,13 +3,23 @@
 // model, with execution time normalized to the fault-free nominal-voltage
 // baseline and L2 MPKI per configuration.
 //
+// The sweep fans out over a worker pool (Config.Parallelism): every
+// workload × scheme simulation is an independent task with its own
+// gpu.System and protection.Scheme, sharing only read-only traces, and the
+// merge order is fixed, so the parallel path produces bit-for-bit the same
+// rows as the serial one.
+//
 // The package is shared by cmd/killi-sim and the repository's benchmark
 // harness so both print identical rows.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"killi/internal/gpu"
 	"killi/internal/killi"
@@ -47,7 +57,9 @@ func Schemes() []SchemeSpec {
 
 // SchemeByName builds a fresh protection scheme from a stable name:
 // "none", "secded", "dected", "flair", "msecc", or "killi-1:<ratio>"
-// (optionally prefixed "killi-dected-" for the §5.2 extension).
+// (optionally "killi-dected-1:<ratio>" for the §5.2 extension, or
+// "killi-olsc<strength>-1:<ratio>" for the §5.5 low-Vmin mode). Parsing is
+// strict: a malformed or trailing-garbage name is an error, never a guess.
 func SchemeByName(name string) (protection.Scheme, error) {
 	switch name {
 	case "none":
@@ -61,17 +73,63 @@ func SchemeByName(name string) (protection.Scheme, error) {
 	case "msecc":
 		return protection.NewMSECC(), nil
 	}
-	var ratio, strength int
-	if _, err := fmt.Sscanf(name, "killi-dected-1:%d", &ratio); err == nil && ratio > 0 {
-		return killi.New(killi.Config{Ratio: ratio, UseDECTED: true}), nil
-	}
-	if _, err := fmt.Sscanf(name, "killi-olsc%d-1:%d", &strength, &ratio); err == nil && strength > 0 && ratio > 0 {
-		return killi.New(killi.Config{Ratio: ratio, OLSCStrength: strength}), nil
-	}
-	if _, err := fmt.Sscanf(name, "killi-1:%d", &ratio); err == nil && ratio > 0 {
+	if rest, ok := strings.CutPrefix(name, "killi-"); ok {
+		if s, ok := strings.CutPrefix(rest, "dected-"); ok {
+			ratio, err := parseRatio(s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad scheme %q: %v", name, err)
+			}
+			return killi.New(killi.Config{Ratio: ratio, UseDECTED: true}), nil
+		}
+		if s, ok := strings.CutPrefix(rest, "olsc"); ok {
+			strengthStr, ratioStr, found := strings.Cut(s, "-")
+			if !found {
+				return nil, fmt.Errorf("experiments: bad scheme %q: want killi-olsc<strength>-1:<ratio>", name)
+			}
+			strength, err := strconv.Atoi(strengthStr)
+			if err != nil || strength < 1 {
+				return nil, fmt.Errorf("experiments: bad scheme %q: OLSC strength must be a positive integer", name)
+			}
+			ratio, err := parseRatio(ratioStr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad scheme %q: %v", name, err)
+			}
+			return killi.New(killi.Config{Ratio: ratio, OLSCStrength: strength}), nil
+		}
+		ratio, err := parseRatio(rest)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad scheme %q: %v", name, err)
+		}
 		return killi.New(killi.Config{Ratio: ratio}), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+}
+
+// parseRatio parses the "1:<ratio>" suffix of a Killi scheme name,
+// rejecting anything but a positive integer ratio with no trailing bytes.
+func parseRatio(s string) (int, error) {
+	digits, ok := strings.CutPrefix(s, "1:")
+	if !ok {
+		return 0, fmt.Errorf("want an ECC cache ratio of the form 1:<n>, got %q", s)
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("want a positive integer ECC cache ratio, got %q", digits)
+	}
+	return n, nil
+}
+
+// SplitList splits a comma-separated CLI list, trimming whitespace around
+// every entry and dropping empty ones, so "fft, xsbench" and "fft,,xsbench,"
+// both mean {fft, xsbench}.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Config parameterizes a sweep.
@@ -86,13 +144,21 @@ type Config struct {
 	GPU *gpu.Config
 	// Workloads restricts the sweep (nil = the full ten-workload catalog).
 	Workloads []string
-	// WarmupKernels runs the trace this many times before the measured
-	// run. DFH state persists across kernels (the paper trains once per
-	// reset, not per kernel), so warmups exclude one-time training cost
-	// from the measurement — the steady state the paper's long kernels
-	// reach on their own. Zero measures the first kernel, training
-	// included.
+	// WarmupKernels runs this many kernels before the measured run. DFH
+	// state persists across kernels (the paper trains once per reset, not
+	// per kernel), so warmups exclude one-time training cost from the
+	// measurement — the steady state the paper's long kernels reach on
+	// their own. Zero measures the first kernel, training included. Each
+	// kernel walks the same data structures in a fresh request order (an
+	// exact replay of one request sequence is both unrealistic and
+	// adversarial to LRU).
 	WarmupKernels int
+	// Parallelism bounds the number of concurrently running simulations.
+	// 0 or 1 runs the sweep serially; higher values use a worker pool of
+	// that size; negative values mean GOMAXPROCS. Every task builds its
+	// own gpu.System and protection.Scheme and the merge order is fixed,
+	// so results are bit-for-bit identical at any parallelism.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +175,12 @@ func (c Config) withDefaults() Config {
 		for _, w := range workload.Catalog() {
 			c.Workloads = append(c.Workloads, w.Name)
 		}
+	}
+	if c.Parallelism < 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -146,49 +218,133 @@ func (r Row) SchemeNames() []string {
 	return names
 }
 
+// kernelSeed derives the trace seed for the k-th kernel of a sweep: kernel
+// 0 uses the configured seed unchanged, later kernels re-walk the same
+// data structures in fresh orders.
+func kernelSeed(seed uint64, k int) uint64 {
+	if k == 0 {
+		return seed
+	}
+	return seed ^ (uint64(k) * 0xa24baed4963ee407)
+}
+
+// kernelTraces generates the warmup + measured request traces for one
+// workload: element k holds kernel k's per-CU traces. The result is shared
+// read-only by every scheme task of that workload.
+func kernelTraces(w workload.Workload, cus, perCU int, seed uint64, warmups int) [][][]workload.Request {
+	out := make([][][]workload.Request, warmups+1)
+	for k := range out {
+		out[k] = w.Traces(cus, perCU, kernelSeed(seed, k))
+	}
+	return out
+}
+
+// runKernels drives one simulation through every warmup kernel and returns
+// the measured (final) kernel's result.
+func runKernels(sys *gpu.System, traces [][][]workload.Request) gpu.Result {
+	var res gpu.Result
+	for _, t := range traces {
+		res = sys.Run(t)
+	}
+	return res
+}
+
+// task is one independent simulation of the sweep: a workload's fault-free
+// baseline (scheme == -1) or one of its LV scheme runs.
+type task struct {
+	workload int
+	scheme   int // index into Schemes(), or -1 for the baseline
+}
+
 // Run executes the full sweep: for each workload, a fault-free baseline at
-// nominal voltage plus every scheme at the LV operating point.
+// nominal voltage plus every scheme at the LV operating point. With
+// cfg.Parallelism > 1 the tasks fan out over a worker pool; the output is
+// identical to the serial sweep in either case.
 func Run(cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	base := cfg.baseGPU()
-	rows := make([]Row, 0, len(cfg.Workloads))
-	for _, name := range cfg.Workloads {
+	specs := Schemes()
+
+	// Resolve workloads and generate every kernel's traces up front, so
+	// unknown names fail before any simulation runs and the (read-only)
+	// traces are shared across that workload's tasks.
+	loads := make([]workload.Workload, len(cfg.Workloads))
+	traces := make([][][][]workload.Request, len(cfg.Workloads))
+	for i, name := range cfg.Workloads {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		traces := w.Traces(base.CUs, cfg.RequestsPerCU, cfg.Seed)
+		loads[i] = w
+		traces[i] = kernelTraces(w, base.CUs, cfg.RequestsPerCU, cfg.Seed, cfg.WarmupKernels)
+	}
 
-		baseCfg := base
-		baseCfg.Voltage = 1.0
-		baseSys := gpu.New(baseCfg, protection.NewNone())
-		for w := 0; w < cfg.WarmupKernels; w++ {
-			baseSys.Run(traces)
+	tasks := make([]task, 0, len(loads)*(len(specs)+1))
+	for wi := range loads {
+		tasks = append(tasks, task{workload: wi, scheme: -1})
+		for si := range specs {
+			tasks = append(tasks, task{workload: wi, scheme: si})
 		}
-		baseRes := baseSys.Run(traces)
+	}
 
-		row := Row{
-			Workload:       w.Name,
-			Class:          w.Class,
-			BaselineCycles: baseRes.Cycles,
-			BaselineMPKI:   baseRes.MPKI(),
-			Normalized:     map[string]float64{},
-			MPKI:           map[string]float64{},
-			Disabled:       map[string]int{},
+	runTask := func(t task) gpu.Result {
+		g := base
+		var scheme protection.Scheme
+		if t.scheme < 0 {
+			g.Voltage = 1.0
+			scheme = protection.NewNone()
+		} else {
+			g.Voltage = cfg.Voltage
+			scheme = specs[t.scheme].New()
 		}
-		for _, spec := range Schemes() {
-			lvCfg := base
-			lvCfg.Voltage = cfg.Voltage
-			sys := gpu.New(lvCfg, spec.New())
-			for w := 0; w < cfg.WarmupKernels; w++ {
-				sys.Run(traces)
-			}
-			res := sys.Run(traces)
-			row.Normalized[spec.Name] = float64(res.Cycles) / float64(baseRes.Cycles)
-			row.MPKI[spec.Name] = res.MPKI()
-			row.Disabled[spec.Name] = res.DisabledLines
+		return runKernels(gpu.New(g, scheme), traces[t.workload])
+	}
+
+	results := make([]gpu.Result, len(tasks))
+	if workers := min(cfg.Parallelism, len(tasks)); workers <= 1 {
+		for i, t := range tasks {
+			results[i] = runTask(t)
 		}
-		rows = append(rows, row)
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = runTask(tasks[i])
+				}
+			}()
+		}
+		for i := range tasks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic merge: rows in workload order, every scheme keyed by
+	// its stable name, normalized against the workload's baseline task.
+	rows := make([]Row, len(loads))
+	for i, t := range tasks {
+		res := results[i]
+		row := &rows[t.workload]
+		if t.scheme < 0 {
+			row.Workload = loads[t.workload].Name
+			row.Class = loads[t.workload].Class
+			row.BaselineCycles = res.Cycles
+			row.BaselineMPKI = res.MPKI()
+			row.Normalized = map[string]float64{}
+			row.MPKI = map[string]float64{}
+			row.Disabled = map[string]int{}
+			continue
+		}
+		// The baseline task of this workload precedes its scheme tasks.
+		name := specs[t.scheme].Name
+		row.Normalized[name] = float64(res.Cycles) / float64(row.BaselineCycles)
+		row.MPKI[name] = res.MPKI()
+		row.Disabled[name] = res.DisabledLines
 	}
 	return rows, nil
 }

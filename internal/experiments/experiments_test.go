@@ -120,9 +120,91 @@ func TestSchemeByName(t *testing.T) {
 			t.Fatalf("%q: empty scheme name", name)
 		}
 	}
-	for _, bad := range []string{"", "killi", "killi-1:0", "killi-1:x", "unknown"} {
+	for _, bad := range []string{
+		"", "killi", "unknown",
+		"killi-1:0", "killi-1:-16", "killi-1:x",
+		"killi-1:16xyz", "killi-1:16 ", "killi-dected-1:32extra",
+		"killi-olsc0-1:8", "killi-olsc11-1:2junk", "killi-olsc-1:8", "killi-olscx-1:8",
+	} {
 		if _, err := SchemeByName(bad); err == nil {
 			t.Fatalf("SchemeByName(%q) did not error", bad)
+		}
+	}
+}
+
+// TestSchemeByNameRoundTripsCatalog pins the contract the CLI relies on:
+// every name the sweep produces parses back to a scheme of that name.
+func TestSchemeByNameRoundTripsCatalog(t *testing.T) {
+	for _, spec := range Schemes() {
+		s, err := SchemeByName(spec.Name)
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", spec.Name, err)
+		}
+		if got, want := s.Name(), spec.New().Name(); got != want {
+			t.Fatalf("SchemeByName(%q).Name() = %q, want %q", spec.Name, got, want)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"fft", []string{"fft"}},
+		{"fft, xsbench", []string{"fft", "xsbench"}},
+		{" fft ,,xsbench, ", []string{"fft", "xsbench"}},
+	}
+	for _, c := range cases {
+		got := SplitList(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins the worker pool's core guarantee: any
+// parallelism produces bit-for-bit the rows of the serial sweep.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := Config{
+		RequestsPerCU: 600,
+		Workloads:     []string{"nekbone", "xsbench"},
+		WarmupKernels: 1,
+		GPU:           smallGPU(),
+	}
+	serial := cfg
+	serial.Parallelism = 1
+	par := cfg
+	par.Parallelism = 8
+	want, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel rows %d, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Workload != w.Workload || g.BaselineCycles != w.BaselineCycles || g.BaselineMPKI != w.BaselineMPKI {
+			t.Fatalf("row %d diverges: serial %+v parallel %+v", i, w, g)
+		}
+		for _, n := range w.SchemeNames() {
+			if g.Normalized[n] != w.Normalized[n] || g.MPKI[n] != w.MPKI[n] || g.Disabled[n] != w.Disabled[n] {
+				t.Fatalf("%s/%s diverges: serial (%v, %v, %d) parallel (%v, %v, %d)",
+					w.Workload, n, w.Normalized[n], w.MPKI[n], w.Disabled[n],
+					g.Normalized[n], g.MPKI[n], g.Disabled[n])
+			}
 		}
 	}
 }

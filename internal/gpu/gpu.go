@@ -116,6 +116,7 @@ type System struct {
 
 	ctr     stats.Counters
 	softRNG *xrand.Rand
+	replRNG *xrand.Rand
 
 	// stallUntil gates request issue after a voltage transition whose
 	// scheme requires an offline MBIST pass.
@@ -149,6 +150,7 @@ func New(cfg Config, scheme protection.Scheme) *System {
 		versions: make(map[uint64]uint32),
 		bankFree: make([]uint64, cfg.L2Banks),
 		softRNG:  xrand.New(cfg.FaultSeed ^ 0x5eed50f7),
+		replRNG:  xrand.New(cfg.FaultSeed ^ 0xbe91ace5eed),
 	}
 	refV := cfg.RefVoltage
 	if refV == 0 {
@@ -440,6 +442,14 @@ func (s *System) installL2(addr uint64, data bitvec.Line) {
 			break
 		}
 		if s.l2tags.Entry(set, w).Valid {
+			// No invalid way was available and the scheme fell through to
+			// its recency tie-break. Real GPU L2s do not implement true
+			// LRU; pick pseudo-randomly among the valid enabled ways
+			// instead, which also keeps streaming fills from
+			// deterministically flushing resident reuse data.
+			w = s.randomValidWay(set, w)
+		}
+		if s.l2tags.Entry(set, w).Valid {
 			s.ctr.Inc("l2.evictions")
 			s.scheme.OnEvict(set, w)
 		}
@@ -456,6 +466,24 @@ func (s *System) installL2(addr uint64, data bitvec.Line) {
 	id := s.l2tags.LineID(set, way)
 	s.l2data.Write(id, data)
 	s.scheme.OnFill(set, way, data)
+}
+
+// randomValidWay picks a pseudo-random valid, enabled way of an L2 set as
+// the replacement victim, falling back to the scheme's pick if the set has
+// none (cannot happen when the fallback way itself is valid and enabled).
+func (s *System) randomValidWay(set, fallback int) int {
+	var cand [64]int
+	n := 0
+	for w, e := range s.l2tags.Set(set) {
+		if e.Valid && !e.Disabled && n < len(cand) {
+			cand[n] = w
+			n++
+		}
+	}
+	if n == 0 {
+		return fallback
+	}
+	return cand[s.replRNG.Intn(n)]
 }
 
 // writeThroughL2 updates the L2 copy of a stored-to line, if present.

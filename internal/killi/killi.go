@@ -214,11 +214,14 @@ func (k *Scheme) setDFH(set, way int, next DFH) {
 }
 
 // allocECC obtains the ECC cache entry for a line. When contention evicts
-// another line's checkbits, the victim line is evicted from the L2 — but
-// first its DFH is trained against the dying checkbits, exactly as a
-// regular L2 eviction would (§4.4). This on-the-way-out classification is
-// what lets training converge even through a heavily contended ECC cache:
-// most victims classify b'00 and never need an entry again.
+// another line's checkbits, the victim line's DFH is first trained against
+// the dying checkbits, exactly as a regular L2 eviction would (§4.4). This
+// on-the-way-out classification is what lets training converge even through
+// a heavily contended ECC cache: most victims classify b'00, switch to
+// their folded 4-bit parity, and stay resident — only a line that still
+// needs checkbits after training (Stable1, or Initial with eviction
+// training disabled) is evicted from the L2 (the paper's ECC-cache-induced
+// L2 replacement).
 func (k *Scheme) allocECC(set, way int) *eccEntry {
 	tags := k.h.Tags()
 	id := tags.LineID(set, way)
@@ -229,14 +232,58 @@ func (k *Scheme) allocECC(set, way int) *eccEntry {
 		ways := tags.Config().Ways
 		vSet, vWay := evicted/ways, evicted%ways
 		ve := tags.Entry(vSet, vWay)
-		// A line in Initial or Stable1 cannot operate without its
-		// checkbits; it is evicted from the L2 (the paper's
-		// ECC-cache-induced L2 replacement).
-		if ve.Valid && (DFH(ve.Class) == Initial || DFH(ve.Class) == Stable1) {
-			if DFH(ve.Class) == Initial && !k.cfg.NoEvictionTraining {
+		if ve.Valid {
+			switch DFH(ve.Class) {
+			case Initial:
+				if k.cfg.NoEvictionTraining {
+					// Untrained and unprotected: must leave the L2.
+					k.h.SchemeInvalidate(vSet, vWay)
+					break
+				}
 				k.classifyDeparting(vSet, vWay, evicted, &old)
+				// A victim classified Stable0 keeps operating on its
+				// folded parity and stays resident; Disabled already
+				// invalidated itself; Stable1 loses its checkbits with
+				// the entry and must leave.
+				if DFH(ve.Class) == Stable0 && !k.cfg.InvertedTraining {
+					// Unlike eviction training, the line's data stays
+					// live under 4-bit parity alone, so a fault masked by
+					// matching data (§5.6.2) would go unwatched until a
+					// write unmasks it. The polarity test costs one
+					// write/read pair and closes that window; with
+					// InvertedTraining it already ran inside
+					// classifyDeparting. Lines whose masked faults the
+					// codec could still correct go to Stable1 (refilled
+					// under fresh checkbits); only faults beyond its
+					// strength disable the line.
+					limit := 1
+					switch {
+					case k.olsc != nil:
+						limit = k.cfg.OLSCStrength
+					case k.cfg.UseDECTED:
+						limit = 2
+					}
+					switch faults := k.invertedCheck(evicted, k.h.Data().Read(evicted)); {
+					case faults == 0:
+						// Genuinely clean: stays resident.
+					case faults <= limit:
+						k.h.Stats().Inc("killi.inverted_unmasked_single")
+						if k.cfg.UseDECTED && faults == 2 {
+							k.h.Stats().Inc("killi.dected_promotions")
+							k.dectedOn[evicted] = true
+						}
+						k.setDFH(vSet, vWay, Stable1)
+					default:
+						k.h.Stats().Inc("killi.inverted_unmasked_multi")
+						k.setDFH(vSet, vWay, Disabled)
+					}
+				}
+				if DFH(ve.Class) == Stable1 {
+					k.h.SchemeInvalidate(vSet, vWay)
+				}
+			case Stable1:
+				k.h.SchemeInvalidate(vSet, vWay)
 			}
-			k.h.SchemeInvalidate(vSet, vWay)
 		}
 	}
 	return entry
@@ -617,6 +664,13 @@ func (k *Scheme) classifyDeparting(set, way, id int, entry *eccEntry) {
 		k.dectedOn[id] = true
 	default:
 		k.setDFH(set, way, Disabled)
+	}
+	// A line that reached a stable state switches from the 16-bit training
+	// parity to the 4-bit fold — required when a cleanly-classified
+	// contention victim stays resident, and harmless for true departures
+	// (OnFill regenerates parity on the next install).
+	if c := k.DFHOf(set, way); c == Stable0 || c == Stable1 {
+		k.parity4[id] = uint8(parity.Fold(stored16))
 	}
 }
 

@@ -357,11 +357,14 @@ func TestEvictionTraining(t *testing.T) {
 	}
 }
 
-func TestECCContentionInvalidatesVictimLine(t *testing.T) {
-	// ECC cache with 4 entries (one set) and 17 Initial lines: the 5th
-	// allocation must evict an entry and invalidate its L2 line.
-	h := newHost(t, 16, 1, nil, 0.625)
-	k := attach(h, Config{Ratio: 4, Assoc: 4}, 0.625) // 16/4 = 4 entries
+// contentionHost builds a 16-set direct-mapped host whose line 0 carries
+// the given faults and drives 5 fills through a 4-entry ECC cache, so the
+// 5th allocation evicts line 0's entry and triggers contention training.
+func contentionHost(t *testing.T, faults []faultmodel.Fault, cfg Config) (*testHost, *Scheme) {
+	t.Helper()
+	cfg.Ratio, cfg.Assoc = 4, 4 // 16/4 = 4 entries, one set
+	h := newHost(t, 16, 1, [][]faultmodel.Fault{faults}, 0.625)
+	k := attach(h, cfg, 0.625)
 	if k.ECCEntries() != 4 {
 		t.Fatalf("ECC entries = %d, want 4", k.ECCEntries())
 	}
@@ -369,17 +372,81 @@ func TestECCContentionInvalidatesVictimLine(t *testing.T) {
 	for set := 0; set < 5; set++ {
 		fill(h, k, set, 0, randomLine(r))
 	}
-	if len(h.invalidated) == 0 {
-		t.Fatal("ECC contention did not invalidate any L2 line")
-	}
 	if h.ctr.Get("killi.ecc_contention_evictions") == 0 {
 		t.Fatal("contention eviction not counted")
 	}
-	// The invalidated line must no longer be valid.
-	for _, id := range h.invalidated {
-		if h.tags.Entry(id, 0).Valid {
-			t.Fatal("victim line still valid")
-		}
+	return h, k
+}
+
+func TestECCContentionCleanVictimStaysResident(t *testing.T) {
+	// A fault-free victim is classified on the way out of the ECC cache and,
+	// having no fault to protect against, stays resident in the L2 under its
+	// folded 4-bit parity (§4.4 training applied to contention evictions).
+	h, k := contentionHost(t, nil, Config{})
+	if len(h.invalidated) != 0 {
+		t.Fatalf("clean contention victim invalidated: %v", h.invalidated)
+	}
+	if !h.tags.Entry(0, 0).Valid {
+		t.Fatal("clean victim no longer valid")
+	}
+	if got := k.DFHOf(0, 0); got != Stable0 {
+		t.Fatalf("victim DFH = %v, want b'00", got)
+	}
+	// The resident line must still read correctly through its folded parity.
+	data := h.data.Read(h.tags.LineID(0, 0))
+	truth := h.data.ReadTrue(h.tags.LineID(0, 0))
+	if v := k.OnReadHit(0, 0, &data); v != protection.Deliver {
+		t.Fatalf("read verdict on kept victim = %v", v)
+	}
+	if data != truth {
+		t.Fatal("kept victim delivered corrupt data")
+	}
+}
+
+func TestECCContentionFaultyVictimInvalidated(t *testing.T) {
+	// A victim with an unmasked stuck-at fault (data bit 7 is 1, the cell
+	// sticks at 0) classifies Stable1; its checkbits die with the ECC
+	// entry, so the line must leave the L2.
+	h, k := contentionHost(t, []faultmodel.Fault{stuck(7, 0)}, Config{})
+	if len(h.invalidated) != 1 || h.invalidated[0] != 0 {
+		t.Fatalf("invalidated = %v, want [0]", h.invalidated)
+	}
+	if h.tags.Entry(0, 0).Valid {
+		t.Fatal("faulty victim still valid")
+	}
+	if got := k.DFHOf(0, 0); got != Stable1 {
+		t.Fatalf("victim DFH = %v, want b'10", got)
+	}
+}
+
+func TestECCContentionMaskedFaultCaughtByPolarityTest(t *testing.T) {
+	// A fault masked by matching data passes parity+ECC classification, but
+	// the keep-resident path runs the §5.6.2 polarity test before trusting
+	// the line to 4-bit parity alone — the masked fault must be unmasked
+	// and the line evicted as Stable1, not kept as Stable0.
+	// Data bit 0 of the first fill is 1, so a stuck-at-1 cell there is
+	// masked and invisible to parity+ECC.
+	h, k := contentionHost(t, []faultmodel.Fault{stuck(0, 1)}, Config{})
+	if h.ctr.Get("killi.inverted_unmasked_single") == 0 {
+		t.Fatal("polarity test did not unmask the masked fault")
+	}
+	if got := k.DFHOf(0, 0); got != Stable1 {
+		t.Fatalf("victim DFH = %v, want b'10", got)
+	}
+	if len(h.invalidated) != 1 || h.invalidated[0] != 0 {
+		t.Fatalf("invalidated = %v, want [0]", h.invalidated)
+	}
+}
+
+func TestECCContentionNoEvictionTrainingInvalidates(t *testing.T) {
+	// With eviction training disabled, an Initial victim loses its entry
+	// untrained and unprotected: it must leave the L2 still Initial.
+	h, k := contentionHost(t, nil, Config{NoEvictionTraining: true})
+	if len(h.invalidated) != 1 || h.invalidated[0] != 0 {
+		t.Fatalf("invalidated = %v, want [0]", h.invalidated)
+	}
+	if got := k.DFHOf(0, 0); got != Initial {
+		t.Fatalf("victim DFH = %v, want b'01", got)
 	}
 }
 

@@ -54,6 +54,14 @@ type PerLine struct {
 	// TestMarchMatchesOracle); the flag exists to run the actual
 	// machinery the paper's baselines depend on.
 	UseMarchTest bool
+	// InArrayCheckbits models MS-ECC's capacity-for-reliability layout:
+	// below the fault knee the checkbits live in the data array itself,
+	// so each data way is paired with a sacrificed check way (half the
+	// capacity, the Table 7 "1018-bit codeword" = data line + check
+	// line), and a pair is disabled when the faults across BOTH lines
+	// exceed the codec's strength. At nominal voltage the code is
+	// unnecessary and the full capacity returns.
+	InArrayCheckbits bool
 
 	name  string
 	codec ecc.Codec
@@ -74,9 +82,15 @@ func NewSECDEDPerLine() *PerLine { return NewPerLine("secded-line", ecc.SECDED()
 func NewDECTEDPerLine() *PerLine { return NewPerLine("dected-line", ecc.DECTED()) }
 
 // NewMSECC returns the MS-ECC scheme: OLSC correcting up to 11 errors per
-// line, disabling lines with ≥12 faults. Its 506 checkbits per line are the
-// paper's 18× area ratio (Table 5).
-func NewMSECC() *PerLine { return NewPerLine("msecc", ecc.OLSC(11)) }
+// line, disabling codewords with ≥12 faults. Its 506 checkbits per line are
+// the paper's 18× area ratio (Table 5); at low voltage they are stored in
+// the data array itself, sacrificing every other way (the scheme's
+// capacity-for-reliability tradeoff).
+func NewMSECC() *PerLine {
+	p := NewPerLine("msecc", ecc.OLSC(11))
+	p.InArrayCheckbits = true
+	return p
+}
 
 // Name implements Scheme.
 func (p *PerLine) Name() string { return p.name }
@@ -106,10 +120,28 @@ func (p *PerLine) Reset(vNorm float64) {
 		p.h.Stats().Add("protection.mbist_ops", res.Ops)
 		faultCount = res.FaultCount
 	}
+	// Below the Figure 1 fault knee an InArrayCheckbits scheme switches to
+	// its low-voltage layout: each data way pairs with a sacrificed check
+	// way holding its OLSC bits, and the enable decision covers the whole
+	// codeword. Above the knee faults are negligible, the code is off, and
+	// the full capacity returns.
+	ways := tags.Config().Ways
+	paired := p.InArrayCheckbits && vNorm < 0.7 && ways >= 2
 	tags.ForEach(func(set, way int, e *cache.Entry) {
 		id := tags.LineID(set, way)
-		e.Disabled = faultCount(id) > p.codec.CorrectsUpTo()
 		e.Valid = false
+		switch {
+		case !paired:
+			e.Disabled = faultCount(id) > p.codec.CorrectsUpTo()
+		case way >= ways/2:
+			// Check way: stores the partner's checkbits, never data.
+			e.Disabled = true
+			p.h.Stats().Inc("protection.capacity_lines_sacrificed")
+			return
+		default:
+			pair := tags.LineID(set, way+ways/2)
+			e.Disabled = faultCount(id)+faultCount(pair) > p.codec.CorrectsUpTo()
+		}
 		if e.Disabled {
 			p.h.Stats().Inc("protection.lines_disabled")
 		}

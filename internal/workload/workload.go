@@ -113,71 +113,65 @@ func ByName(name string) (Workload, error) {
 // --- memory-bound proxies ---
 
 // xsbench models XSBench's macroscopic cross-section lookups: uniformly
-// random reads over a nuclide grid far larger than the L2.
+// random reads over a nuclide grid far larger than the L2, alternating
+// with lookups in a hot unionized-energy index that lives in the L2. The
+// index is what an undersized ECC cache disrupts: its faulty lines lose
+// their checkbits to the random-grid churn and must be refetched — XSBENCH
+// is one of the paper's two ECC-cache-size-sensitive workloads.
 func xsbench() Workload {
-	const tableBytes = 32 << 20
+	const gridBytes = 3 << 20    // unionized energy grid, 1.5× the 2 MB L2
+	const indexBytes = 256 << 10 // very hot hash index
 	return Workload{
 		Name:        "xsbench",
 		Class:       MemoryBound,
-		Description: "random cross-section table lookups over a 32 MB grid",
+		Description: "random lookups over a hot 256 KB index + 3 MB unionized grid (1.5× the L2)",
 		gen: func(cu, n int, r *xrand.Rand) []Request {
 			out := make([]Request, 0, n)
-			for i := 0; i < n; i++ {
-				// Each lookup touches a random grid point plus, every few
-				// lookups, a small hot index structure.
-				addr := baseA + uint64(r.Intn(tableBytes/lineBytes))*lineBytes
-				out = append(out, Request{Addr: addr, Instrs: 8})
-				if i%8 == 7 {
-					hot := baseB + uint64(r.Intn(4096))*lineBytes // 256 KB index
-					out = append(out, Request{Addr: hot, Instrs: 4})
-				}
-				if len(out) >= n {
-					break
+			for len(out) < n {
+				// Each lookup walks the hot index, then probes two energy
+				// points in the unionized grid. The grid is all live data
+				// slightly bigger than the L2, so every line the protection
+				// scheme throws away is one the workload will want back —
+				// the paper's ECC-cache-thrash sensitivity (Figures 4–5).
+				idx := baseB + uint64(r.Intn(indexBytes/lineBytes))*lineBytes
+				out = append(out, Request{Addr: idx, Instrs: 2})
+				for p := 0; p < 2 && len(out) < n; p++ {
+					g := baseA + uint64(r.Intn(gridBytes/lineBytes))*lineBytes
+					out = append(out, Request{Addr: g, Instrs: 2})
 				}
 			}
-			return out[:min(n, len(out))]
+			return out
 		},
 	}
 }
 
-// fft models large out-of-core FFT passes: strided butterfly reads and
-// writes with strides that double each pass (defeating L2 reuse on the
-// signal), plus twiddle-factor lookups in a hot 1 MB table whose reuse is
-// what an undersized ECC cache disrupts — FFT is one of the paper's two
-// ECC-cache-size-sensitive workloads (Figures 4–5).
+// fft models in-place FFT butterfly updates: bit-reversed butterfly
+// addressing is an effective scatter at cache-line granularity across eight
+// concurrent CUs, over a signal slightly bigger than the L2 that every pass
+// re-references, plus lookups in a very hot shared twiddle table. The
+// twiddle reuse is what an undersized ECC cache disrupts — FFT is one of
+// the paper's two ECC-cache-size-sensitive workloads (Figures 4–5).
 func fft() Workload {
-	const arrayBytes = 16 << 20
-	const twiddleBytes = 512 << 10
+	const signalBytes = 3 << 20 // in-place working signal, 1.5× the 2 MB L2
+	const twBytes = 256 << 10   // hot twiddle table
 	return Workload{
 		Name:        "fft",
 		Class:       MemoryBound,
-		Description: "butterfly passes over a 16 MB signal + hot 512 KB twiddle table",
+		Description: "butterfly updates over a live 3 MB signal + hot 256 KB twiddle table",
 		gen: func(cu, n int, r *xrand.Rand) []Request {
 			out := make([]Request, 0, n)
-			lines := uint64(arrayBytes / lineBytes)
-			twLines := twiddleBytes / lineBytes
-			stride := uint64(1)
-			pos := uint64(cu) * 97
+			sigLines := signalBytes / lineBytes
+			const twLines = twBytes / lineBytes
 			for len(out) < n {
-				a := baseA + (pos%lines)*lineBytes
-				b := baseA + ((pos+stride)%lines)*lineBytes
+				// One butterfly: twiddle factor, then read-modify-write of
+				// a signal node.
 				tw := baseB + uint64(r.Intn(twLines))*lineBytes
-				out = append(out, Request{Addr: a, Instrs: 7})
+				out = append(out, Request{Addr: tw, Instrs: 2})
 				if len(out) < n {
-					out = append(out, Request{Addr: tw, Instrs: 3})
-				}
-				if len(out) < n {
-					out = append(out, Request{Addr: b, Instrs: 5})
-				}
-				if len(out) < n {
-					out = append(out, Request{Addr: a, Write: true, Instrs: 3})
-				}
-				pos += 2 * stride
-				if pos >= lines {
-					pos = (pos + 1) % lines
-					stride *= 2
-					if stride >= lines/2 {
-						stride = 1
+					a := baseA + uint64(r.Intn(sigLines))*lineBytes
+					out = append(out, Request{Addr: a, Instrs: 3})
+					if len(out) < n {
+						out = append(out, Request{Addr: a, Write: true, Instrs: 2})
 					}
 				}
 			}
@@ -192,27 +186,34 @@ func hpgmg() Workload {
 	return Workload{
 		Name:        "hpgmg",
 		Class:       MemoryBound,
-		Description: "streaming sweeps across 16/8/4 MB multigrid levels",
+		Description: "streaming sweeps across 32/16/8 MB multigrid levels",
 		gen: func(cu, n int, r *xrand.Rand) []Request {
 			levels := []struct {
 				base  uint64
 				bytes uint64
 			}{
-				{baseA, 16 << 20},
-				{baseB, 8 << 20},
-				{baseC, 4 << 20},
+				{baseA, 32 << 20},
+				{baseB, 16 << 20},
+				{baseC, 8 << 20},
+			}
+			// Each kernel smooths a fresh window of every level, switching
+			// levels every 2048-line chunk (a V-cycle leg).
+			var starts [3]uint64
+			for i, lv := range levels {
+				starts[i] = uint64(r.Intn(int(lv.bytes / lineBytes)))
 			}
 			out := make([]Request, 0, n)
-			level, pos := 0, uint64(cu)*4096
+			level, i := 0, uint64(0)
 			for len(out) < n {
 				lv := levels[level]
-				addr := lv.base + (pos%(lv.bytes/lineBytes))*lineBytes
+				lvLines := lv.bytes / lineBytes
+				addr := lv.base + ((starts[level]+i)%lvLines)*lineBytes
 				out = append(out, Request{Addr: addr, Instrs: 8})
-				if len(out) < n && pos%4 == 3 {
+				if len(out) < n && i%4 == 3 {
 					out = append(out, Request{Addr: addr, Write: true, Instrs: 4})
 				}
-				pos++
-				if pos%(lv.bytes/lineBytes) == 0 {
+				i++
+				if i%2048 == 0 {
 					level = (level + 1) % len(levels)
 				}
 			}
@@ -232,7 +233,8 @@ func pennant() Workload {
 		Description: "sequential index stream gathering randomly from a 16 MB mesh",
 		gen: func(cu, n int, r *xrand.Rand) []Request {
 			out := make([]Request, 0, n)
-			idxPos := uint64(cu) * 977
+			// Each kernel walks its own slice of the index stream.
+			idxPos := uint64(r.Intn(int(idxBytes / lineBytes)))
 			for len(out) < n {
 				idxAddr := baseA + (idxPos%(idxBytes/lineBytes))*lineBytes
 				out = append(out, Request{Addr: idxAddr, Instrs: 6})
@@ -341,7 +343,7 @@ func snap() Workload {
 // miniamr models block-structured AMR: long dwell times on small blocks.
 func miniamr() Workload {
 	const blockBytes = 256 << 10
-	const blocks = 24
+	const blocks = 64
 	return Workload{
 		Name:        "miniamr",
 		Class:       ComputeBound,
