@@ -2,7 +2,7 @@
 #
 #   make tier1     vet + build + race-enabled tests + the short shape test
 #   make shape     the full Figure 4/5 shape-regression suite (slower)
-#   make bench     one benchmark per paper figure/table
+#   make bench     core benchmarks (-benchmem) + refresh BENCH_core.json
 
 GO ?= go
 
@@ -30,5 +30,9 @@ shape:
 shape-full:
 	$(GO) test -run TestFig45Shape -timeout 30m ./internal/experiments
 
+# Benchmarks for the hot packages plus the tracked core baseline:
+# killi-bench rewrites BENCH_core.json's "current" entry (ns/event,
+# allocs/event, serial sweep wall-clock) while preserving "baseline".
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem ./internal/engine ./internal/stats
+	$(GO) run ./cmd/killi-bench -o BENCH_core.json

@@ -1,0 +1,131 @@
+// killi-bench measures the simulator core and records the numbers in a
+// tracked JSON baseline (BENCH_core.json), so performance regressions show
+// up in review like any other diff.
+//
+// Two metrics are captured:
+//
+//   - engine ns/event and allocs/event: a steady-state event-queue
+//     microbenchmark (reused engine and handler, 100 events per
+//     iteration) via testing.Benchmark;
+//   - sweep_seconds: wall-clock for the serial (-parallel 1) four-workload
+//     Figure 4/5 sweep at 0.625xVDD with 2500 requests per CU.
+//
+// When the output file already exists, its "baseline" entry is preserved
+// and only "current" is rewritten; delete the file to rebase the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"killi/internal/engine"
+	"killi/internal/experiments"
+)
+
+type point struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	SweepSeconds   float64 `json:"sweep_seconds"`
+}
+
+type report struct {
+	Baseline point `json:"baseline"`
+	Current  point `json:"current"`
+}
+
+// benchHandler reschedules itself for half the fired events so the queue
+// stays warm, mirroring the engine package's steady-state benchmark.
+type benchHandler struct {
+	e     *engine.Engine
+	count int
+}
+
+func (h *benchHandler) Fire() {
+	h.count++
+	if h.count%2 == 0 {
+		h.e.ScheduleHandler(h.e.Now()%13, h)
+	}
+}
+
+const eventsPerIter = 100
+
+func benchEngine() (nsPerEvent, allocsPerEvent float64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		var e engine.Engine
+		h := &benchHandler{e: &e}
+		for i := 0; i < 128; i++ {
+			e.ScheduleHandler(uint64(i%13), h)
+		}
+		e.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < eventsPerIter; j++ {
+				e.ScheduleHandler(uint64(j%13), h)
+			}
+			e.Run()
+		}
+	})
+	return float64(res.NsPerOp()) / eventsPerIter,
+		float64(res.AllocsPerOp()) / eventsPerIter
+}
+
+func benchSweep() (float64, error) {
+	cfg := experiments.Config{
+		Voltage:       0.625,
+		RequestsPerCU: 2500,
+		Seed:          1,
+		Workloads:     []string{"nekbone", "quicksilver", "xsbench", "fft"},
+		Parallelism:   1,
+	}
+	start := time.Now()
+	if _, err := experiments.Run(cfg); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file for the benchmark report")
+	flag.Parse()
+
+	ns, allocs := benchEngine()
+	fmt.Fprintf(os.Stderr, "engine: %.1f ns/event, %.2f allocs/event\n", ns, allocs)
+	sweep, err := benchSweep()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweep:  %.3f s (4 workloads, 2500 req/CU, serial)\n", sweep)
+
+	cur := point{
+		NsPerEvent:     ns,
+		AllocsPerEvent: allocs,
+		SweepSeconds:   sweep,
+	}
+	rep := report{Baseline: cur, Current: cur}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old report
+		if json.Unmarshal(prev, &old) == nil && old.Baseline != (point{}) {
+			rep.Baseline = old.Baseline
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (baseline sweep %.3fs -> current %.3fs, %.2fx)\n",
+		*out, rep.Baseline.SweepSeconds, rep.Current.SweepSeconds,
+		rep.Baseline.SweepSeconds/rep.Current.SweepSeconds)
+}

@@ -154,6 +154,16 @@ func NewVector(n int) *Vector {
 	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
 }
 
+// LineVector returns a 512-bit Vector holding a copy of l. A Line and a
+// 512-bit Vector share the same little-endian word layout, so this is one
+// 8-word copy rather than 512 bit inserts — it feeds the ECC codecs on the
+// simulator's hot paths.
+func LineVector(l Line) *Vector {
+	v := &Vector{n: LineBits, words: make([]uint64, LineWords)}
+	copy(v.words, l[:])
+	return v
+}
+
 // Len returns the width of the vector in bits.
 func (v *Vector) Len() int { return v.n }
 

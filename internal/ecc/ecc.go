@@ -188,16 +188,7 @@ func (o olscCodec) Decode(l *bitvec.Line, c Check) Outcome {
 }
 
 func lineToVector(l bitvec.Line) *bitvec.Vector {
-	v := bitvec.NewVector(bitvec.LineBits)
-	for w := 0; w < bitvec.LineWords; w++ {
-		word := l[w]
-		for b := 0; b < 64; b++ {
-			if word&(1<<uint(b)) != 0 {
-				v.SetBit(w*64+b, 1)
-			}
-		}
-	}
-	return v
+	return bitvec.LineVector(l)
 }
 
 // Cached singleton codecs: construction (especially BCH generator

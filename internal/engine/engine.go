@@ -5,34 +5,42 @@
 // bank response, DRAM completion) scheduled at future cycles. Determinism
 // matters: two events at the same cycle fire in scheduling order, so a
 // simulation configuration plus a seed fully determines every statistic.
+//
+// The queue is a typed four-ary min-heap ordered by (cycle, scheduling
+// sequence). Compared with container/heap it avoids interface boxing and
+// per-operation allocation: Schedule and Step move fixed-size event structs
+// within one backing slice, so the steady state allocates nothing. Callers
+// on hot paths can implement Handler and pass a reusable event object to
+// ScheduleHandler instead of capturing a fresh closure per event.
 package engine
 
-import "container/heap"
+// Handler is a scheduled callback object. Implementations that are reused
+// (e.g. drawn from a free list) make scheduling allocation-free.
+type Handler interface {
+	Fire()
+}
 
-// Event is a scheduled callback.
+// funcHandler adapts a plain func to Handler. Func values without captured
+// variables convert for free; capturing closures still allocate once, as
+// they did under the previous container/heap queue.
+type funcHandler func()
+
+func (f funcHandler) Fire() { f() }
+
+// event is a queue entry: a handler and its (when, seq) total order.
 type event struct {
 	when uint64
 	seq  uint64
-	fn   func()
+	h    Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// less orders events by cycle, breaking ties by scheduling sequence so that
+// same-cycle events fire in FIFO order.
+func (a event) less(b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator clock. The zero value is ready to
@@ -40,7 +48,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    uint64
 	seq    uint64
-	events eventHeap
+	events []event // four-ary heap: children of i at 4i+1..4i+4
 }
 
 // Now returns the current cycle.
@@ -49,8 +57,56 @@ func (e *Engine) Now() uint64 { return e.now }
 // Schedule runs fn delay cycles from now. A delay of 0 runs fn later in the
 // current cycle, after already-queued same-cycle events.
 func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.ScheduleHandler(delay, funcHandler(fn))
+}
+
+// ScheduleHandler runs h.Fire() delay cycles from now, with the same
+// same-cycle FIFO ordering as Schedule. Reusing handler objects keeps the
+// call allocation-free.
+func (e *Engine) ScheduleHandler(delay uint64, h Handler) {
 	e.seq++
-	heap.Push(&e.events, event{when: e.now + delay, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{when: e.now + delay, seq: e.seq, h: h})
+	e.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.less(e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	ev := e.events[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.events[c].less(e.events[best]) {
+				best = c
+			}
+		}
+		if !e.events[best].less(ev) {
+			break
+		}
+		e.events[i] = e.events[best]
+		i = best
+	}
+	e.events[i] = ev
 }
 
 // Pending returns the number of queued events.
@@ -62,9 +118,16 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // release the Handler reference
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
 	e.now = ev.when
-	ev.fn()
+	ev.h.Fire()
 	return true
 }
 

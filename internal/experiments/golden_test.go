@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"killi/internal/killi"
+)
+
+// TestGoldenCounterDigest hashes every counter name and value after a short
+// fixed-seed Killi run and compares against the digest captured on the
+// string-keyed, container/heap, rehash-per-hit implementation, proving the
+// interned-counter / typed-heap / content-model rewrite changed no
+// statistic. The exact Result fields are pinned alongside.
+func TestGoldenCounterDigest(t *testing.T) {
+	res, err := RunOne(Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
+		killi.New(killi.Config{Ratio: 64}), 0.625)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, n := range res.Counters.Names() {
+		fmt.Fprintf(h, "%s=%d\n", n, res.Counters.Get(n))
+	}
+	const want = uint64(0xb727c485a3e75a1b)
+	if got := h.Sum64(); got != want {
+		for _, n := range res.Counters.Names() {
+			t.Logf("%s=%d", n, res.Counters.Get(n))
+		}
+		t.Fatalf("counter digest = %#x, want %#x (a statistic changed)", got, want)
+	}
+	if res.Cycles != 23511 || res.Instructions != 12800 ||
+		res.L2Misses != 5803 || res.L2Accesses != 6363 ||
+		res.MemAccesses != 5803 || res.DisabledLines != 2 {
+		t.Fatalf("result fields diverged from golden: cycles=%d instrs=%d l2miss=%d l2acc=%d mem=%d disabled=%d",
+			res.Cycles, res.Instructions, res.L2Misses, res.L2Accesses,
+			res.MemAccesses, res.DisabledLines)
+	}
+}

@@ -14,6 +14,11 @@
 // Timing follows the paper's Table 3: 2-cycle L2 tag, 2-cycle L2 data,
 // 1-cycle SECDED/parity; the ECC cache's 1+1 cycle access is hidden under
 // the L2 data access and adds no hit latency.
+//
+// The simulation hot paths are allocation-free in the steady state: counter
+// updates go through pre-interned stats handles, and the recurring events
+// (request issue, completion, L2 read, hit/fill completion) are fixed-size
+// structs drawn from a free list rather than per-event closures.
 package gpu
 
 import (
@@ -29,6 +34,30 @@ import (
 	"killi/internal/stats"
 	"killi/internal/workload"
 	"killi/internal/xrand"
+)
+
+// Pre-interned counter handles: the per-event increment is a slice index,
+// not a string-keyed map operation. Names are unchanged from the original
+// string-keyed API.
+var (
+	cSchemeInvalidations = stats.Intern("l2.scheme_invalidations")
+	cVoltageTransitions  = stats.Intern("l2.voltage_transitions")
+	cTransitionStall     = stats.Intern("l2.transition_stall_cycles")
+	cAgingFaults         = stats.Intern("l2.aging_faults_injected")
+	cL1Writes            = stats.Intern("l1.writes")
+	cL1Reads             = stats.Intern("l1.reads")
+	cL1Hits              = stats.Intern("l1.hits")
+	cL2Accesses          = stats.Intern("l2.accesses")
+	cTagParityMisses     = stats.Intern("l2.tag_parity_misses")
+	cReadMisses          = stats.Intern("l2.read_misses")
+	cReadHits            = stats.Intern("l2.read_hits")
+	cSDC                 = stats.Intern("l2.silent_data_corruption")
+	cErrorMisses         = stats.Intern("l2.error_misses")
+	cSoftErrors          = stats.Intern("l2.soft_errors_injected")
+	cEvictions           = stats.Intern("l2.evictions")
+	cBypassFills         = stats.Intern("l2.bypass_fills")
+	cWriteUpdates        = stats.Intern("l2.write_updates")
+	cVersionPrunes       = stats.Intern("l2.version_prunes")
 )
 
 // Config is the simulated GPU configuration (defaults mirror Table 3).
@@ -110,8 +139,27 @@ type System struct {
 	l2data *sram.Array
 	l1     []*cache.Cache
 
-	memory   *mem.Memory
-	versions map[uint64]uint32 // write version per line address
+	memory *mem.Memory
+	// versions holds the write version per line address, for lines whose
+	// version can still be observed (resident in some cache level or with
+	// an L2-side read in flight). Entries above versionsHighWater that are
+	// no longer observable are pruned, bounding memory on streaming
+	// workloads across repeated Runs.
+	versions map[uint64]uint32
+	// pending counts in-flight L2-side reads per line address: from the L1
+	// miss that schedules the L2 read until the hit or fill completes. A
+	// store during that window must advance the version because the fill
+	// evaluates memory content when it lands.
+	pending           map[uint64]int32
+	versionsHighWater int
+	// lineData mirrors the true (fault-free) content of each resident L2
+	// line, so the SDC ground-truth check on read hits is an 8-word compare
+	// instead of a rehash. Invariant: while l2tags holds a valid entry at
+	// (set,way), lineData[LineID(set,way)] equals the current memContent of
+	// the resident address — installs and write-through updates maintain it,
+	// and a resident line's version can only advance through the store path
+	// in access(), which refreshes both copies.
+	lineData []bitvec.Line
 	bankFree []uint64
 
 	ctr     stats.Counters
@@ -123,6 +171,9 @@ type System struct {
 	stallUntil uint64
 
 	cus []*cuState
+
+	eventPool  []*gpuEvent
+	wayScratch []int // victim candidates, sized to L2Ways
 }
 
 type cuState struct {
@@ -148,6 +199,7 @@ func New(cfg Config, scheme protection.Scheme) *System {
 		l2tags:   cache.New(cache.Config{Sets: l2Sets, Ways: cfg.L2Ways, LineBytes: cfg.LineBytes}),
 		memory:   mem.New(cfg.Mem),
 		versions: make(map[uint64]uint32),
+		pending:  make(map[uint64]int32),
 		bankFree: make([]uint64, cfg.L2Banks),
 		softRNG:  xrand.New(cfg.FaultSeed ^ 0x5eed50f7),
 		replRNG:  xrand.New(cfg.FaultSeed ^ 0xbe91ace5eed),
@@ -159,6 +211,9 @@ func New(cfg Config, scheme protection.Scheme) *System {
 	fm := faultmodel.NewMap(xrand.New(cfg.FaultSeed), cfg.FaultModel,
 		s.l2tags.Config().Lines(), bitvec.LineBits, refV, cfg.FreqGHz)
 	s.l2data = sram.New(s.l2tags.Config().Lines(), fm, cfg.Voltage)
+	s.lineData = make([]bitvec.Line, s.l2tags.Config().Lines())
+	s.versionsHighWater = 4 * s.l2tags.Config().Lines()
+	s.wayScratch = make([]int, cfg.L2Ways)
 	l1Sets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Ways
 	s.l1 = make([]*cache.Cache, cfg.CUs)
 	for i := range s.l1 {
@@ -180,7 +235,7 @@ func (s *System) Data() *sram.Array { return s.l2data }
 // SchemeInvalidate implements protection.Host.
 func (s *System) SchemeInvalidate(set, way int) {
 	if s.l2tags.Entry(set, way).Valid {
-		s.ctr.Inc("l2.scheme_invalidations")
+		s.ctr.IncC(cSchemeInvalidations)
 		s.l2tags.Invalidate(set, way)
 	}
 }
@@ -199,8 +254,8 @@ func (s *System) SetVoltage(vNorm float64, stallCycles uint64) {
 	s.l2data.SetVoltage(vNorm)
 	s.scheme.Reset(vNorm)
 	s.stallUntil = s.eng.Now() + stallCycles
-	s.ctr.Inc("l2.voltage_transitions")
-	s.ctr.Add("l2.transition_stall_cycles", stallCycles)
+	s.ctr.IncC(cVoltageTransitions)
+	s.ctr.AddC(cTransitionStall, stallCycles)
 }
 
 // Voltage returns the L2 data array's current normalized voltage.
@@ -216,7 +271,7 @@ func (s *System) InjectAgingFaults(seed uint64, n int) {
 	for i := 0; i < n; i++ {
 		s.l2data.InjectPersistentFault(r.Intn(lines), r.Intn(bitvec.LineBits), uint(r.Uint64()&1))
 	}
-	s.ctr.Add("l2.aging_faults_injected", uint64(n))
+	s.ctr.AddC(cAgingFaults, uint64(n))
 }
 
 // --- data content model ---
@@ -240,6 +295,118 @@ func lineContent(addr uint64, version uint32) bitvec.Line {
 // memContent returns the current true content of a line address.
 func (s *System) memContent(lineAddr uint64) bitvec.Line {
 	return lineContent(lineAddr, s.versions[lineAddr])
+}
+
+// observableElsewhere reports whether a line's version can be observed
+// through a cache level other than the querying CU's own L1, or through an
+// in-flight L2-side read. Stores to unobservable lines skip the version
+// bump: no resident copy exists and no pending fill will evaluate the
+// content, so the pseudo-random line a future fetch generates is equally
+// arbitrary either way.
+func (s *System) observableElsewhere(lineAddr uint64, exceptCU int) bool {
+	if s.pending[lineAddr] > 0 {
+		return true
+	}
+	addr := lineAddr * uint64(s.cfg.LineBytes)
+	for i, l1 := range s.l1 {
+		if i == exceptCU {
+			continue
+		}
+		if _, hit := l1.Lookup(l1.Index(addr), l1.Tag(addr)); hit {
+			return true
+		}
+	}
+	return false
+}
+
+// observable reports whether a line's version is observable through any
+// cache level or in-flight read.
+func (s *System) observable(lineAddr uint64) bool {
+	addr := lineAddr * uint64(s.cfg.LineBytes)
+	if _, hit := s.l2tags.Lookup(s.l2tags.Index(addr), s.l2tags.Tag(addr)); hit {
+		return true
+	}
+	return s.observableElsewhere(lineAddr, -1)
+}
+
+// pruneVersions drops version entries for lines that are no longer
+// observable once the map exceeds its high-water mark (4x the L2 line
+// count), bounding memory across repeated Runs on streaming workloads.
+func (s *System) pruneVersions() {
+	if len(s.versions) <= s.versionsHighWater {
+		return
+	}
+	for lineAddr := range s.versions {
+		if !s.observable(lineAddr) {
+			delete(s.versions, lineAddr)
+		}
+	}
+	s.ctr.IncC(cVersionPrunes)
+}
+
+// pendingDec retires one in-flight L2-side read for a line address.
+func (s *System) pendingDec(lineAddr uint64) {
+	if n := s.pending[lineAddr]; n > 1 {
+		s.pending[lineAddr] = n - 1
+	} else {
+		delete(s.pending, lineAddr)
+	}
+}
+
+// --- event plumbing ---
+
+// Event kinds for the free-listed simulation events.
+const (
+	evAccess uint8 = iota // a CU request reaches its L1
+	evComplete            // a request retires after a fixed latency
+	evL2Read              // an L1 miss reaches the L2 bank
+	evHitDone             // an L2 hit's data returns: fill L1, retire
+	evFillDone            // a memory fetch lands: install L2, fill L1, retire
+)
+
+// gpuEvent is a reusable simulation event. The recurring per-request events
+// flow through a free list on the System, so the steady-state simulation
+// loop performs no per-event allocation.
+type gpuEvent struct {
+	s     *System
+	cu    *cuState
+	addr  uint64
+	kind  uint8
+	write bool
+}
+
+// Fire implements engine.Handler. The event returns itself to the pool
+// before dispatching, so the handlers it schedules can reuse it.
+func (e *gpuEvent) Fire() {
+	s, cu, addr, kind, write := e.s, e.cu, e.addr, e.kind, e.write
+	s.eventPool = append(s.eventPool, e)
+	switch kind {
+	case evAccess:
+		s.access(cu, addr, write)
+	case evComplete:
+		s.complete(cu)
+	case evL2Read:
+		s.l2Read(cu, addr)
+	case evHitDone:
+		s.pendingDec(addr / uint64(s.cfg.LineBytes))
+		s.l1Fill(cu.id, addr)
+		s.complete(cu)
+	case evFillDone:
+		s.fillDone(cu, addr)
+	}
+}
+
+// schedule queues a free-listed event delay cycles from now.
+func (s *System) schedule(delay uint64, kind uint8, cu *cuState, addr uint64, write bool) {
+	var e *gpuEvent
+	if n := len(s.eventPool); n > 0 {
+		e = s.eventPool[n-1]
+		s.eventPool = s.eventPool[:n-1]
+	} else {
+		e = &gpuEvent{s: s}
+	}
+	e.cu, e.addr, e.kind, e.write = cu, addr, kind, write
+	s.eng.ScheduleHandler(delay, e)
 }
 
 // --- simulation ---
@@ -299,7 +466,7 @@ func (s *System) issueMore(cu *cuState) {
 		cu.started = true
 		cu.lastIssue = issueAt
 		cu.instrs += uint64(req.Instrs)
-		s.eng.Schedule(issueAt-s.eng.Now(), func() { s.access(cu, req) })
+		s.schedule(issueAt-s.eng.Now(), evAccess, cu, req.Addr, req.Write)
 	}
 }
 
@@ -310,36 +477,53 @@ func (s *System) complete(cu *cuState) {
 }
 
 // access starts one memory request at the current cycle.
-func (s *System) access(cu *cuState, req workload.Request) {
-	lineAddr := req.Addr / uint64(s.cfg.LineBytes)
+func (s *System) access(cu *cuState, addr uint64, write bool) {
+	lineAddr := addr / uint64(s.cfg.LineBytes)
 	l1 := s.l1[cu.id]
-	l1Set := l1.Index(req.Addr)
-	l1Tag := l1.Tag(req.Addr)
+	l1Set := l1.Index(addr)
+	l1Tag := l1.Tag(addr)
 
-	if req.Write {
-		s.ctr.Inc("l1.writes")
+	if write {
+		s.ctr.IncC(cL1Writes)
 		// Write-through, no-allocate at both levels; the store retires
-		// without a completion dependency.
-		s.versions[lineAddr]++
-		newData := s.memContent(lineAddr)
-		if way, hit := l1.Lookup(l1Set, l1Tag); hit {
-			l1.Touch(l1Set, way)
+		// without a completion dependency. The version advances only when
+		// some cached copy or in-flight fill can observe the new value.
+		l1Way, l1Hit := l1.Lookup(l1Set, l1Tag)
+		l2Set := s.l2tags.Index(addr)
+		l2Tag := s.l2tags.Tag(addr)
+		l2Way, l2Hit := s.l2tags.Lookup(l2Set, l2Tag)
+		if l1Hit || l2Hit || s.observableElsewhere(lineAddr, cu.id) {
+			s.versions[lineAddr]++
+			s.pruneVersions()
 		}
-		s.writeThroughL2(req.Addr, newData)
+		if l1Hit {
+			l1.Touch(l1Set, l1Way)
+		}
+		if l2Hit {
+			s.ctr.IncC(cWriteUpdates)
+			s.l2tags.Touch(l2Set, l2Way)
+			id := s.l2tags.LineID(l2Set, l2Way)
+			newData := s.memContent(lineAddr)
+			s.l2data.Write(id, newData)
+			s.lineData[id] = newData
+			s.scheme.OnWriteHit(l2Set, l2Way, newData)
+		}
 		s.memory.AccessWrite(s.eng.Now())
-		s.eng.Schedule(s.cfg.L1Lat, func() { s.complete(cu) })
+		s.schedule(s.cfg.L1Lat, evComplete, cu, 0, false)
 		return
 	}
 
-	s.ctr.Inc("l1.reads")
+	s.ctr.IncC(cL1Reads)
 	if way, hit := l1.Lookup(l1Set, l1Tag); hit {
-		s.ctr.Inc("l1.hits")
+		s.ctr.IncC(cL1Hits)
 		l1.Touch(l1Set, way)
-		s.eng.Schedule(s.cfg.L1Lat, func() { s.complete(cu) })
+		s.schedule(s.cfg.L1Lat, evComplete, cu, 0, false)
 		return
 	}
-	// L1 miss: go to the L2 bank.
-	s.eng.Schedule(s.cfg.L1Lat, func() { s.l2Read(cu, req.Addr) })
+	// L1 miss: go to the L2 bank. The line has an observer from here until
+	// the hit or fill completes.
+	s.pending[lineAddr]++
+	s.schedule(s.cfg.L1Lat, evL2Read, cu, addr, false)
 }
 
 // bankStart reserves the L2 bank serving addr and returns the cycle at
@@ -357,21 +541,20 @@ func (s *System) bankStart(addr uint64) uint64 {
 
 // l2Read performs the L2 read pipeline for one request.
 func (s *System) l2Read(cu *cuState, addr uint64) {
-	s.ctr.Inc("l2.accesses")
+	s.ctr.IncC(cL2Accesses)
 	start := s.bankStart(addr)
 	set := s.l2tags.Index(addr)
 	tag := s.l2tags.Tag(addr)
-	lineAddr := addr / uint64(s.cfg.LineBytes)
 
 	if s.cfg.TagSoftErrorPerLookup > 0 && s.softRNG.Bernoulli(s.cfg.TagSoftErrorPerLookup) {
 		// Tag parity catches the flip; the affected entry is dropped and
 		// the access refetches — never a wrong-line hit.
-		s.ctr.Inc("l2.tag_parity_misses")
+		s.ctr.IncC(cTagParityMisses)
 		if way, hit := s.l2tags.Lookup(set, tag); hit {
 			s.scheme.OnEvict(set, way)
 			s.l2tags.Invalidate(set, way)
 		}
-		s.ctr.Inc("l2.read_misses")
+		s.ctr.IncC(cReadMisses)
 		s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat)
 		return
 	}
@@ -381,45 +564,48 @@ func (s *System) l2Read(cu *cuState, addr uint64) {
 		id := s.l2tags.LineID(set, way)
 		if s.cfg.SoftErrorPerRead > 0 && s.softRNG.Bernoulli(s.cfg.SoftErrorPerRead) {
 			s.l2data.InjectSoftError(id, s.softRNG.Intn(bitvec.LineBits))
-			s.ctr.Inc("l2.soft_errors_injected")
+			s.ctr.IncC(cSoftErrors)
 		}
 		data := s.l2data.Read(id)
 		verdict := s.scheme.OnReadHit(set, way, &data)
 		if verdict == protection.Deliver {
-			s.ctr.Inc("l2.read_hits")
-			if data != s.memContent(lineAddr) {
+			s.ctr.IncC(cReadHits)
+			if data != s.lineData[id] {
 				// Delivered data differs from ground truth: silent data
 				// corruption the scheme failed to catch.
-				s.ctr.Inc("l2.silent_data_corruption")
+				s.ctr.IncC(cSDC)
 			}
 			done := start + s.cfg.L2TagLat + s.cfg.L2DataLat + s.cfg.ECCLat
-			s.eng.Schedule(done-s.eng.Now(), func() {
-				s.l1Fill(cu.id, addr)
-				s.complete(cu)
-			})
+			s.schedule(done-s.eng.Now(), evHitDone, cu, addr, false)
 			return
 		}
 		// Error-induced cache miss: the scheme already invalidated or
 		// disabled the line; refetch from memory.
-		s.ctr.Inc("l2.error_misses")
+		s.ctr.IncC(cErrorMisses)
 		s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat+s.cfg.L2DataLat+s.cfg.ECCLat)
 		return
 	}
-	s.ctr.Inc("l2.read_misses")
+	s.ctr.IncC(cReadMisses)
 	s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat)
 }
 
-// fetchAndFill fetches a line from memory at earliest cycle "from", installs
-// it into the L2 (if a way is available), fills the L1, and completes the
-// request.
+// fetchAndFill fetches a line from memory at earliest cycle "from"; the
+// fill event installs it into the L2 (if a way is available), fills the L1,
+// and completes the request.
 func (s *System) fetchAndFill(cu *cuState, addr uint64, from uint64) {
-	lineAddr := addr / uint64(s.cfg.LineBytes)
 	done := s.memory.Access(from)
-	s.eng.Schedule(done-s.eng.Now(), func() {
-		s.installL2(addr, s.memContent(lineAddr))
-		s.l1Fill(cu.id, addr)
-		s.complete(cu)
-	})
+	s.schedule(done-s.eng.Now(), evFillDone, cu, addr, false)
+}
+
+// fillDone lands a memory fetch: the line's content is evaluated at fill
+// time (so stores that raced the fetch are reflected), installed into L2,
+// and forwarded to the requesting CU's L1.
+func (s *System) fillDone(cu *cuState, addr uint64) {
+	lineAddr := addr / uint64(s.cfg.LineBytes)
+	s.pendingDec(lineAddr)
+	s.installL2(addr, s.memContent(lineAddr))
+	s.l1Fill(cu.id, addr)
+	s.complete(cu)
 }
 
 // installL2 places fetched data into the L2, driving victim selection,
@@ -450,7 +636,7 @@ func (s *System) installL2(addr uint64, data bitvec.Line) {
 			w = s.randomValidWay(set, w)
 		}
 		if s.l2tags.Entry(set, w).Valid {
-			s.ctr.Inc("l2.evictions")
+			s.ctr.IncC(cEvictions)
 			s.scheme.OnEvict(set, w)
 		}
 		if !s.l2tags.Entry(set, w).Disabled {
@@ -459,23 +645,26 @@ func (s *System) installL2(addr uint64, data bitvec.Line) {
 		}
 	}
 	if way < 0 {
-		s.ctr.Inc("l2.bypass_fills")
+		s.ctr.IncC(cBypassFills)
 		return
 	}
 	s.l2tags.Install(set, way, tag)
 	id := s.l2tags.LineID(set, way)
 	s.l2data.Write(id, data)
+	s.lineData[id] = data
 	s.scheme.OnFill(set, way, data)
 }
 
 // randomValidWay picks a pseudo-random valid, enabled way of an L2 set as
 // the replacement victim, falling back to the scheme's pick if the set has
 // none (cannot happen when the fallback way itself is valid and enabled).
+// The candidate scratch is sized to the configured associativity, so no
+// way can be silently excluded.
 func (s *System) randomValidWay(set, fallback int) int {
-	var cand [64]int
+	cand := s.wayScratch
 	n := 0
 	for w, e := range s.l2tags.Set(set) {
-		if e.Valid && !e.Disabled && n < len(cand) {
+		if e.Valid && !e.Disabled {
 			cand[n] = w
 			n++
 		}
@@ -484,19 +673,6 @@ func (s *System) randomValidWay(set, fallback int) int {
 		return fallback
 	}
 	return cand[s.replRNG.Intn(n)]
-}
-
-// writeThroughL2 updates the L2 copy of a stored-to line, if present.
-func (s *System) writeThroughL2(addr uint64, data bitvec.Line) {
-	set := s.l2tags.Index(addr)
-	tag := s.l2tags.Tag(addr)
-	if way, hit := s.l2tags.Lookup(set, tag); hit {
-		s.ctr.Inc("l2.write_updates")
-		s.l2tags.Touch(set, way)
-		id := s.l2tags.LineID(set, way)
-		s.l2data.Write(id, data)
-		s.scheme.OnWriteHit(set, way, data)
-	}
 }
 
 // l1Fill installs a line into a CU's L1 (plain LRU, no protection — the

@@ -1,0 +1,126 @@
+package gpu
+
+import (
+	"testing"
+
+	"killi/internal/protection"
+	"killi/internal/workload"
+)
+
+// streamTraces builds a pure streaming read-then-write trace: every request
+// pair touches a line address never seen before, starting at startLine.
+// This is the worst case for the version map — every store creates an
+// entry, and no line is ever revisited.
+func streamTraces(cus, pairs int, startLine uint64) ([][]workload.Request, uint64) {
+	traces := make([][]workload.Request, cus)
+	next := startLine
+	for cu := 0; cu < cus; cu++ {
+		tr := make([]workload.Request, 0, 2*pairs)
+		for i := 0; i < pairs; i++ {
+			addr := next * 64
+			next++
+			tr = append(tr,
+				workload.Request{Addr: addr, Instrs: 4},
+				workload.Request{Addr: addr, Write: true, Instrs: 4})
+		}
+		traces[cu] = tr
+	}
+	return traces, next
+}
+
+// TestVersionsMapBounded runs a streaming write workload over fresh
+// addresses across many Run calls and checks the version map stays bounded:
+// entries for lines no longer observable through any cache level are pruned
+// once the map crosses its high-water mark, instead of growing with the
+// total footprint forever.
+func TestVersionsMapBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CUs = 2
+	cfg.L1Bytes = 4 << 10
+	cfg.L2Bytes = 64 << 10 // 1024 lines -> high water at 4096 entries
+	cfg.L2Banks = 4
+	sys := New(cfg, protection.NewNone())
+
+	totalLines := uint64(0)
+	next := uint64(1)
+	for run := 0; run < 8; run++ {
+		var traces [][]workload.Request
+		traces, next = streamTraces(cfg.CUs, 1000, next)
+		sys.Run(traces)
+		totalLines += uint64(cfg.CUs) * 1000
+		if len(sys.pending) != 0 {
+			t.Fatalf("run %d: %d pending reads left after drain", run, len(sys.pending))
+		}
+	}
+	if totalLines <= uint64(sys.versionsHighWater) {
+		t.Fatalf("test footprint %d lines does not exceed the high-water mark %d",
+			totalLines, sys.versionsHighWater)
+	}
+	// Between prunes the map may grow back up to the high-water mark plus
+	// the entries added before the next prune fires; it must not track the
+	// full 16000-line footprint.
+	if len(sys.versions) > sys.versionsHighWater+1 {
+		t.Fatalf("versions map grew to %d entries (high water %d, footprint %d lines)",
+			len(sys.versions), sys.versionsHighWater, totalLines)
+	}
+	if sys.ctr.Get("l2.version_prunes") == 0 {
+		t.Fatal("pruning never triggered despite footprint above high water")
+	}
+}
+
+// TestUnobservableStoreSkipsVersionEntry checks that a store to a line
+// absent from every cache level (and with no read in flight) does not
+// create a version-map entry.
+func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CUs = 1
+	sys := New(cfg, protection.NewNone())
+	traces := [][]workload.Request{{
+		{Addr: 0x1000, Write: true, Instrs: 4}, // blind store, nothing resident
+	}}
+	sys.Run(traces)
+	if len(sys.versions) != 0 {
+		t.Fatalf("blind store created %d version entries", len(sys.versions))
+	}
+
+	// A read followed by a store to the same line must record the version:
+	// the line is resident (or in flight) when the store lands.
+	traces = [][]workload.Request{{
+		{Addr: 0x2000, Instrs: 4},
+		{Addr: 0x2000, Write: true, Instrs: 4},
+	}}
+	sys.Run(traces)
+	if v := sys.versions[0x2000/64]; v != 1 {
+		t.Fatalf("observable store recorded version %d, want 1", v)
+	}
+}
+
+// TestRandomValidWayWideAssoc verifies the victim candidate buffer scales
+// with the configured associativity: with 128 ways and every way valid,
+// selection must be able to return ways above the old 64-entry cap.
+func TestRandomValidWayWideAssoc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2Bytes = 128 * 64 * 4 // 4 sets of 128 ways
+	cfg.L2Ways = 128
+	cfg.L2Banks = 2
+	sys := New(cfg, protection.NewNone())
+	for way := 0; way < cfg.L2Ways; way++ {
+		sys.l2tags.Install(0, way, uint64(way))
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 4096; i++ {
+		seen[sys.randomValidWay(0, 0)] = true
+	}
+	high := 0
+	for w := range seen {
+		if w > high {
+			high = w
+		}
+	}
+	if high < 64 {
+		t.Fatalf("no way above 63 ever selected in 4096 draws (max %d): candidate buffer capped", high)
+	}
+	if len(seen) < cfg.L2Ways/2 {
+		t.Fatalf("only %d of %d ways ever selected", len(seen), cfg.L2Ways)
+	}
+}

@@ -2,7 +2,6 @@ package killi
 
 import (
 	"fmt"
-	"math/bits"
 
 	"killi/internal/bitvec"
 	"killi/internal/cache"
@@ -12,6 +11,37 @@ import (
 	"killi/internal/ecc/secded"
 	"killi/internal/protection"
 	"killi/internal/sram"
+	"killi/internal/stats"
+)
+
+// Pre-interned counter handles for every event the scheme counts on a hot
+// path; the DFH transition matrix covers all 16 prev→next pairs so setDFH
+// never formats a counter name per event.
+var (
+	cLinesReclaim      = stats.Intern("killi.lines_reclaim_attempted")
+	cLinesDisabled     = stats.Intern("killi.lines_disabled")
+	cECCAccesses       = stats.Intern("killi.ecc_accesses")
+	cECCContention     = stats.Intern("killi.ecc_contention_evictions")
+	cInvertedSingle    = stats.Intern("killi.inverted_unmasked_single")
+	cInvertedMulti     = stats.Intern("killi.inverted_unmasked_multi")
+	cDECTEDPromotions  = stats.Intern("killi.dected_promotions")
+	cPostSingle        = stats.Intern("killi.post_training_single_error")
+	cPostMulti         = stats.Intern("killi.post_training_multi_error")
+	cMiscorrection     = stats.Intern("killi.miscorrection_caught")
+	cCorrectedReads    = stats.Intern("killi.corrected_reads")
+	cInvertedChecks    = stats.Intern("killi.inverted_checks")
+	cEvictionTrainings = stats.Intern("killi.eviction_trainings")
+	cScrubTests        = stats.Intern("killi.scrub_tests")
+	cScrubReclaimed    = stats.Intern("killi.scrub_reclaimed")
+
+	cDFHTransition = func() (m [4][4]stats.Counter) {
+		for p := Stable0; p <= Disabled; p++ {
+			for n := Stable0; n <= Disabled; n++ {
+				m[p][n] = stats.Intern(fmt.Sprintf("killi.dfh_%s_to_%s", p, n))
+			}
+		}
+		return
+	}()
 )
 
 // Config parameterizes a Killi instance.
@@ -149,7 +179,7 @@ func (k *Scheme) Reset(vNorm float64) {
 	tags := k.h.Tags()
 	tags.ForEach(func(set, way int, e *cache.Entry) {
 		if e.Disabled {
-			k.h.Stats().Inc("killi.lines_reclaim_attempted")
+			k.h.Stats().IncC(cLinesReclaim)
 		}
 		e.Disabled = false
 		e.Valid = false
@@ -203,13 +233,13 @@ func (k *Scheme) setDFH(set, way int, next DFH) {
 	e := k.h.Tags().Entry(set, way)
 	prev := DFH(e.Class)
 	if prev != next {
-		k.h.Stats().Inc(fmt.Sprintf("killi.dfh_%s_to_%s", prev, next))
+		k.h.Stats().IncC(cDFHTransition[prev][next])
 	}
 	e.Class = int(next)
 	if next == Disabled {
 		e.Disabled = true
 		e.Valid = false
-		k.h.Stats().Inc("killi.lines_disabled")
+		k.h.Stats().IncC(cLinesDisabled)
 	}
 }
 
@@ -225,10 +255,10 @@ func (k *Scheme) setDFH(set, way int, next DFH) {
 func (k *Scheme) allocECC(set, way int) *eccEntry {
 	tags := k.h.Tags()
 	id := tags.LineID(set, way)
-	k.h.Stats().Inc("killi.ecc_accesses")
+	k.h.Stats().IncC(cECCAccesses)
 	entry, evicted, old := k.ecc.allocate(set, id)
 	if evicted >= 0 {
-		k.h.Stats().Inc("killi.ecc_contention_evictions")
+		k.h.Stats().IncC(cECCContention)
 		ways := tags.Config().Ways
 		vSet, vWay := evicted/ways, evicted%ways
 		ve := tags.Entry(vSet, vWay)
@@ -267,14 +297,14 @@ func (k *Scheme) allocECC(set, way int) *eccEntry {
 					case faults == 0:
 						// Genuinely clean: stays resident.
 					case faults <= limit:
-						k.h.Stats().Inc("killi.inverted_unmasked_single")
+						k.h.Stats().IncC(cInvertedSingle)
 						if k.cfg.UseDECTED && faults == 2 {
-							k.h.Stats().Inc("killi.dected_promotions")
+							k.h.Stats().IncC(cDECTEDPromotions)
 							k.dectedOn[evicted] = true
 						}
 						k.setDFH(vSet, vWay, Stable1)
 					default:
-						k.h.Stats().Inc("killi.inverted_unmasked_multi")
+						k.h.Stats().IncC(cInvertedMulti)
 						k.setDFH(vSet, vWay, Disabled)
 					}
 				}
@@ -360,12 +390,12 @@ func (k *Scheme) readStable0(set, way int, data *bitvec.Line) protection.Verdict
 		// A 1-bit error surfaced after training: the initial
 		// classification was wrong (a masked fault unmasked) or a soft
 		// error struck. Return the line to Initial and relearn.
-		k.h.Stats().Inc("killi.post_training_single_error")
+		k.h.Stats().IncC(cPostSingle)
 		k.setDFH(set, way, Initial)
 		k.h.Tags().Invalidate(set, way)
 		return protection.ErrorMiss
 	default:
-		k.h.Stats().Inc("killi.post_training_multi_error")
+		k.h.Stats().IncC(cPostMulti)
 		k.setDFH(set, way, Disabled)
 		return protection.ErrorMiss
 	}
@@ -383,7 +413,7 @@ func (k *Scheme) readInitial(set, way int, data *bitvec.Line) protection.Verdict
 		// invalidated then; reaching here is a controller bug.
 		panic("killi: Initial line without an ECC cache entry")
 	}
-	k.h.Stats().Inc("killi.ecc_accesses")
+	k.h.Stats().IncC(cECCAccesses)
 	k.ecc.touch(eSet, eWay)
 	stored16 := uint64(k.parity4[id]) | uint64(entry.parity12)<<4
 	_, segMis := k.p16.Check(*data, stored16)
@@ -409,7 +439,7 @@ func (k *Scheme) readInitial(set, way int, data *bitvec.Line) protection.Verdict
 			return protection.ErrorMiss
 		}
 		if _, stillBad := k.p16.Check(*data, stored16); stillBad != 0 {
-			k.h.Stats().Inc("killi.miscorrection_caught")
+			k.h.Stats().IncC(cMiscorrection)
 			k.setDFH(set, way, Disabled)
 			k.ecc.invalidate(set, id)
 			return protection.ErrorMiss
@@ -420,20 +450,20 @@ func (k *Scheme) readInitial(set, way int, data *bitvec.Line) protection.Verdict
 			// check counts every stuck cell.
 			switch faults := k.invertedCheck(id, *data); {
 			case faults >= 2:
-				k.h.Stats().Inc("killi.inverted_unmasked_multi")
+				k.h.Stats().IncC(cInvertedMulti)
 				k.setDFH(set, way, Disabled)
 				k.ecc.invalidate(set, id)
 				return protection.ErrorMiss
 			case faults == 0:
 				// The corrected error was transient: the line is clean.
-				k.h.Stats().Inc("killi.corrected_reads")
+				k.h.Stats().IncC(cCorrectedReads)
 				k.setDFH(set, way, Stable0)
 				k.parity4[id] = uint8(parity.Fold(stored16))
 				k.ecc.invalidate(set, id)
 				return protection.Deliver
 			}
 		}
-		k.h.Stats().Inc("killi.corrected_reads")
+		k.h.Stats().IncC(cCorrectedReads)
 		k.setDFH(set, way, Stable1)
 		k.parity4[id] = uint8(parity.Fold(stored16))
 		return protection.Deliver
@@ -442,7 +472,7 @@ func (k *Scheme) readInitial(set, way int, data *bitvec.Line) protection.Verdict
 		// Even error count (very likely exactly two). The DECTED
 		// extension keeps such lines enabled: refetch clean data and
 		// re-protect with the 21-bit code.
-		k.h.Stats().Inc("killi.dected_promotions")
+		k.h.Stats().IncC(cDECTEDPromotions)
 		k.setDFH(set, way, Stable1)
 		k.dectedOn[id] = true
 		k.parity4[id] = uint8(parity.Fold(stored16))
@@ -468,12 +498,12 @@ func (k *Scheme) finishTrainingClean(set, way, id int, data *bitvec.Line, stored
 		case faults == 1:
 			// A masked single fault: classify Stable1 and keep the
 			// checkbits (they match the current clean data).
-			k.h.Stats().Inc("killi.inverted_unmasked_single")
+			k.h.Stats().IncC(cInvertedSingle)
 			k.setDFH(set, way, Stable1)
 			k.parity4[id] = uint8(parity.Fold(stored16))
 			return protection.Deliver
 		case faults >= 2:
-			k.h.Stats().Inc("killi.inverted_unmasked_multi")
+			k.h.Stats().IncC(cInvertedMulti)
 			k.setDFH(set, way, Disabled)
 			k.ecc.invalidate(set, id)
 			return protection.ErrorMiss
@@ -487,7 +517,7 @@ func (k *Scheme) finishTrainingClean(set, way, id int, data *bitvec.Line, stored
 
 // invertedCheck runs the §5.6.2 polarity test via the host's data array.
 func (k *Scheme) invertedCheck(id int, data bitvec.Line) int {
-	k.h.Stats().Inc("killi.inverted_checks")
+	k.h.Stats().IncC(cInvertedChecks)
 	return invertedFaultCount(k.h.Data(), id, data)
 }
 
@@ -517,7 +547,7 @@ func (k *Scheme) readStable1(set, way int, data *bitvec.Line) protection.Verdict
 	if !hit {
 		panic("killi: Stable1 line without an ECC cache entry")
 	}
-	k.h.Stats().Inc("killi.ecc_accesses")
+	k.h.Stats().IncC(cECCAccesses)
 	// Coordinated replacement: the protected line was just touched, so
 	// its metadata moves to MRU with it (§4.4).
 	k.ecc.touch(eSet, eWay)
@@ -553,12 +583,12 @@ func (k *Scheme) readStable1(set, way int, data *bitvec.Line) protection.Verdict
 			return protection.ErrorMiss
 		}
 		if _, stillBad := k.p4.Check(*data, uint64(k.parity4[id])); stillBad != 0 {
-			k.h.Stats().Inc("killi.miscorrection_caught")
+			k.h.Stats().IncC(cMiscorrection)
 			k.setDFH(set, way, Disabled)
 			k.ecc.invalidate(set, id)
 			return protection.ErrorMiss
 		}
-		k.h.Stats().Inc("killi.corrected_reads")
+		k.h.Stats().IncC(cCorrectedReads)
 		return protection.Deliver
 	default:
 		// syn != 0 && !gErr (an additional error on top of the known
@@ -580,7 +610,7 @@ func (k *Scheme) readDECTED(set, way, id int, data *bitvec.Line, entry *eccEntry
 		for _, b := range res.DataBitsFlipped {
 			data.FlipBit(b)
 		}
-		k.h.Stats().Inc("killi.corrected_reads")
+		k.h.Stats().IncC(cCorrectedReads)
 		return protection.Deliver
 	default:
 		k.setDFH(set, way, Disabled)
@@ -629,7 +659,7 @@ func (k *Scheme) classifyDeparting(set, way, id int, entry *eccEntry) {
 	stored16 := uint64(k.parity4[id]) | uint64(entry.parity12)<<4
 	_, segMis := k.p16.Check(data, stored16)
 	syn, gErr := k.code.SyndromeLine(data, entry.check)
-	k.h.Stats().Inc("killi.eviction_trainings")
+	k.h.Stats().IncC(cEvictionTrainings)
 
 	switch {
 	case segMis == 0 && syn == 0 && !gErr:
@@ -659,7 +689,7 @@ func (k *Scheme) classifyDeparting(set, way, id int, entry *eccEntry) {
 			k.setDFH(set, way, Stable1)
 		}
 	case syn != 0 && !gErr && k.cfg.UseDECTED:
-		k.h.Stats().Inc("killi.dected_promotions")
+		k.h.Stats().IncC(cDECTEDPromotions)
 		k.setDFH(set, way, Stable1)
 		k.dectedOn[id] = true
 	default:
@@ -689,7 +719,7 @@ func (k *Scheme) Scrub() (reclaimed int) {
 			return
 		}
 		id := tags.LineID(set, way)
-		k.h.Stats().Inc("killi.scrub_tests")
+		k.h.Stats().IncC(cScrubTests)
 		// The line is invalid, so a test pattern can be written freely.
 		var pattern bitvec.Line
 		arr.Write(id, pattern)
@@ -703,7 +733,7 @@ func (k *Scheme) Scrub() (reclaimed int) {
 		} else {
 			e.Class = int(Stable0)
 		}
-		k.h.Stats().Inc("killi.scrub_reclaimed")
+		k.h.Stats().IncC(cScrubReclaimed)
 		reclaimed++
 	})
 	return reclaimed
@@ -711,14 +741,5 @@ func (k *Scheme) Scrub() (reclaimed int) {
 
 // lineVector copies a Line into a 512-bit Vector for the BCH codec.
 func lineVector(l bitvec.Line) *bitvec.Vector {
-	v := bitvec.NewVector(bitvec.LineBits)
-	for w := 0; w < bitvec.LineWords; w++ {
-		word := l[w]
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			v.SetBit(w*64+b, 1)
-			word &= word - 1
-		}
-	}
-	return v
+	return bitvec.LineVector(l)
 }

@@ -68,12 +68,12 @@ func (k *Scheme) olscReadInitial(set, way int, data *bitvec.Line) protection.Ver
 			data.FlipBit(b)
 		}
 		if _, bad := k.p16.Check(*data, stored16); bad != 0 {
-			k.h.Stats().Inc("killi.miscorrection_caught")
+			k.h.Stats().IncC(cMiscorrection)
 			k.setDFH(set, way, Disabled)
 			k.ecc.invalidate(set, id)
 			return protection.ErrorMiss
 		}
-		k.h.Stats().Inc("killi.corrected_reads")
+		k.h.Stats().IncC(cCorrectedReads)
 		k.setDFH(set, way, Stable1)
 		k.parity4[id] = uint8(parity.Fold(stored16))
 		return protection.Deliver
@@ -102,12 +102,12 @@ func (k *Scheme) olscReadStable1(set, way int, data *bitvec.Line) protection.Ver
 			data.FlipBit(b)
 		}
 		if _, bad := k.p4.Check(*data, uint64(k.parity4[id])); bad != 0 {
-			k.h.Stats().Inc("killi.miscorrection_caught")
+			k.h.Stats().IncC(cMiscorrection)
 			k.setDFH(set, way, Disabled)
 			k.ecc.invalidate(set, id)
 			return protection.ErrorMiss
 		}
-		k.h.Stats().Inc("killi.corrected_reads")
+		k.h.Stats().IncC(cCorrectedReads)
 		return protection.Deliver
 	default:
 		k.setDFH(set, way, Disabled)
@@ -121,7 +121,7 @@ func (k *Scheme) olscClassifyDeparting(set, way, id int, entry *eccEntry) {
 	data := k.h.Data().Read(id)
 	stored16 := uint64(k.parity4[id]) | uint64(entry.parity12)<<4
 	_, segMis := k.p16.Check(data, stored16)
-	k.h.Stats().Inc("killi.eviction_trainings")
+	k.h.Stats().IncC(cEvictionTrainings)
 	vec := lineVector(data)
 	res := k.olsc.Decode(vec, entry.olscCheck)
 	switch {

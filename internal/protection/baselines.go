@@ -5,6 +5,14 @@ import (
 	"killi/internal/cache"
 	"killi/internal/ecc"
 	"killi/internal/march"
+	"killi/internal/stats"
+)
+
+// Pre-interned handles for the scheme hot-path counters.
+var (
+	cCorrectedReads   = stats.Intern("protection.corrected_reads")
+	cErrorInducedMiss = stats.Intern("protection.error_induced_miss")
+	cLinesDisabled    = stats.Intern("protection.lines_disabled")
 )
 
 // None is the fault-free baseline scheme: no metadata, every read trusted.
@@ -66,7 +74,14 @@ type PerLine struct {
 	name  string
 	codec ecc.Codec
 	h     Host
-	check []ecc.Check // per line ID
+	// Fills store the line's true data and encode lazily: checkbits are
+	// deterministic functions of the data, so they are only materialized
+	// (encoded[id] set) the first time a read-back mismatches stored[id].
+	// A clean read hit is an 8-word compare with no codec work — and since
+	// Decode(d, Encode(d)) is OK for every codec, the outcome is identical.
+	stored  []bitvec.Line
+	check   []ecc.Check // per line ID, valid only where encoded[id]
+	encoded []bool
 }
 
 // NewPerLine returns a per-line scheme using the given codec.
@@ -98,7 +113,10 @@ func (p *PerLine) Name() string { return p.name }
 // Attach implements Scheme.
 func (p *PerLine) Attach(h Host) {
 	p.h = h
-	p.check = make([]ecc.Check, h.Tags().Config().Lines())
+	lines := h.Tags().Config().Lines()
+	p.stored = make([]bitvec.Line, lines)
+	p.check = make([]ecc.Check, lines)
+	p.encoded = make([]bool, lines)
 }
 
 // Codec exposes the underlying codec for area accounting.
@@ -143,7 +161,7 @@ func (p *PerLine) Reset(vNorm float64) {
 			e.Disabled = faultCount(id)+faultCount(pair) > p.codec.CorrectsUpTo()
 		}
 		if e.Disabled {
-			p.h.Stats().Inc("protection.lines_disabled")
+			p.h.Stats().IncC(cLinesDisabled)
 		}
 	})
 }
@@ -154,23 +172,33 @@ func (p *PerLine) VictimFunc() cache.VictimFunc { return nil }
 // OnFill implements Scheme.
 func (p *PerLine) OnFill(set, way int, data bitvec.Line) {
 	id := p.h.Tags().LineID(set, way)
-	p.check[id] = p.codec.Encode(data)
+	p.stored[id] = data
+	p.encoded[id] = false
 }
 
 // OnReadHit implements Scheme.
 func (p *PerLine) OnReadHit(set, way int, data *bitvec.Line) Verdict {
 	id := p.h.Tags().LineID(set, way)
+	if *data == p.stored[id] {
+		// Read-back matches the encoded data exactly: the syndrome is zero
+		// by construction, so the decode outcome is OK.
+		return Deliver
+	}
+	if !p.encoded[id] {
+		p.check[id] = p.codec.Encode(p.stored[id])
+		p.encoded[id] = true
+	}
 	out := p.codec.Decode(data, p.check[id])
 	switch out.Status {
 	case ecc.OK:
 		return Deliver
 	case ecc.Corrected:
-		p.h.Stats().Inc("protection.corrected_reads")
+		p.h.Stats().IncC(cCorrectedReads)
 		return Deliver
 	default:
 		// Detected, uncorrectable: write-through cache ⇒ invalidate and
 		// refetch.
-		p.h.Stats().Inc("protection.error_induced_miss")
+		p.h.Stats().IncC(cErrorInducedMiss)
 		p.h.Tags().Invalidate(set, way)
 		return ErrorMiss
 	}

@@ -28,9 +28,13 @@ type FLAIR struct {
 	// needs. Zero means pre-trained.
 	TrainAccesses uint64
 
-	h        Host
-	codec    ecc.Codec
+	h     Host
+	codec ecc.Codec
+	// Lazy checkbits, as in PerLine: fills store the true line and encode
+	// only on the first mismatching read-back.
+	stored   []bitvec.Line
 	check    []ecc.Check
+	encoded  []bool
 	accesses uint64
 	training bool
 }
@@ -51,7 +55,10 @@ func (f *FLAIR) Name() string { return "flair" }
 func (f *FLAIR) Attach(h Host) {
 	f.h = h
 	f.codec = ecc.SECDED()
-	f.check = make([]ecc.Check, h.Tags().Config().Lines())
+	lines := h.Tags().Config().Lines()
+	f.stored = make([]bitvec.Line, lines)
+	f.check = make([]ecc.Check, lines)
+	f.encoded = make([]bool, lines)
 }
 
 // Training reports whether the online MBIST pass is still running.
@@ -88,7 +95,7 @@ func (f *FLAIR) applyMBIST() {
 		wasDisabled := e.Disabled
 		e.Disabled = data.ActiveFaultCount(id) > f.codec.CorrectsUpTo()
 		if e.Disabled {
-			f.h.Stats().Inc("protection.lines_disabled")
+			f.h.Stats().IncC(cLinesDisabled)
 			e.Valid = false
 		} else if wasDisabled {
 			// Ways freed from MBIST testing return empty.
@@ -118,22 +125,31 @@ func (f *FLAIR) VictimFunc() cache.VictimFunc { return nil }
 func (f *FLAIR) OnFill(set, way int, data bitvec.Line) {
 	f.tick()
 	id := f.h.Tags().LineID(set, way)
-	f.check[id] = f.codec.Encode(data)
+	f.stored[id] = data
+	f.encoded[id] = false
 }
 
 // OnReadHit implements Scheme.
 func (f *FLAIR) OnReadHit(set, way int, data *bitvec.Line) Verdict {
 	f.tick()
 	id := f.h.Tags().LineID(set, way)
+	if *data == f.stored[id] {
+		// Zero syndrome by construction: decoding would report OK.
+		return Deliver
+	}
+	if !f.encoded[id] {
+		f.check[id] = f.codec.Encode(f.stored[id])
+		f.encoded[id] = true
+	}
 	out := f.codec.Decode(data, f.check[id])
 	switch out.Status {
 	case ecc.OK:
 		return Deliver
 	case ecc.Corrected:
-		f.h.Stats().Inc("protection.corrected_reads")
+		f.h.Stats().IncC(cCorrectedReads)
 		return Deliver
 	default:
-		f.h.Stats().Inc("protection.error_induced_miss")
+		f.h.Stats().IncC(cErrorInducedMiss)
 		tags := f.h.Tags()
 		if !f.training {
 			// Steady state: a detected-uncorrectable pattern means the
@@ -141,7 +157,7 @@ func (f *FLAIR) OnReadHit(set, way int, data *bitvec.Line) Verdict {
 			// unmasked, or a soft error on a 1-fault line, §2.3); disable
 			// it defensively.
 			tags.Entry(set, way).Disabled = true
-			f.h.Stats().Inc("protection.lines_disabled")
+			f.h.Stats().IncC(cLinesDisabled)
 		}
 		tags.Invalidate(set, way)
 		return ErrorMiss
@@ -151,7 +167,8 @@ func (f *FLAIR) OnReadHit(set, way int, data *bitvec.Line) Verdict {
 // OnWriteHit implements Scheme.
 func (f *FLAIR) OnWriteHit(set, way int, data bitvec.Line) {
 	id := f.h.Tags().LineID(set, way)
-	f.check[id] = f.codec.Encode(data)
+	f.stored[id] = data
+	f.encoded[id] = false
 }
 
 // OnEvict implements Scheme.

@@ -1,53 +1,155 @@
 // Package stats collects named counters and derived metrics for simulation
 // runs, with stable deterministic rendering.
+//
+// Counter names are interned in a package-level registry: each distinct name
+// resolves once to a dense Counter index, and hot paths increment a slice
+// slot through a pre-resolved handle instead of hashing a string per event.
+// The string-keyed API (Add/Inc/Get/Since/Names/String) remains as a thin
+// view over the same storage for tests and reports.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
+// Counter is an interned handle for a counter name. Handles are process-wide:
+// the same name yields the same handle in every Counters instance. Obtain one
+// with Intern (typically once, at component construction).
+type Counter int32
+
+// The registry maps names to dense indices. Interning takes a write lock,
+// reads of the name table take a read lock; per-event increments touch only
+// the owning Counters value and never the registry.
+var registry struct {
+	sync.RWMutex
+	index map[string]Counter
+	names []string
+}
+
+// Intern returns the dense handle for name, registering it on first use.
+// Safe for concurrent use.
+func Intern(name string) Counter {
+	registry.RLock()
+	c, ok := registry.index[name]
+	registry.RUnlock()
+	if ok {
+		return c
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if c, ok := registry.index[name]; ok {
+		return c
+	}
+	if registry.index == nil {
+		registry.index = make(map[string]Counter, 64)
+	}
+	c = Counter(len(registry.names))
+	registry.index[name] = c
+	registry.names = append(registry.names, name)
+	return c
+}
+
+// CounterName returns the name a handle was interned under.
+func CounterName(c Counter) string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.names[c]
+}
+
+// NumCounters returns how many distinct names have been interned.
+func NumCounters() int {
+	registry.RLock()
+	defer registry.RUnlock()
+	return len(registry.names)
+}
+
+func lookup(name string) (Counter, bool) {
+	registry.RLock()
+	c, ok := registry.index[name]
+	registry.RUnlock()
+	return c, ok
+}
+
 // Counters is a set of named uint64 counters. The zero value is ready to
-// use.
+// use. A Counters value is not safe for concurrent use; distinct instances
+// are independent and may be used from different goroutines.
 type Counters struct {
-	m map[string]uint64
+	vals []uint64
+}
+
+// grow extends the dense value slice to cover handle c. Out of the hot path:
+// it runs at most once per (instance, new high handle) pair.
+func (c *Counters) grow(h Counter) {
+	n := NumCounters()
+	if n <= int(h) {
+		n = int(h) + 1
+	}
+	vals := make([]uint64, n)
+	copy(vals, c.vals)
+	c.vals = vals
+}
+
+// AddC increments the counter behind an interned handle by n.
+func (c *Counters) AddC(h Counter, n uint64) {
+	if int(h) >= len(c.vals) {
+		c.grow(h)
+	}
+	c.vals[h] += n
+}
+
+// IncC increments the counter behind an interned handle by one.
+func (c *Counters) IncC(h Counter) { c.AddC(h, 1) }
+
+// GetC returns the value behind an interned handle.
+func (c *Counters) GetC(h Counter) uint64 {
+	if int(h) >= len(c.vals) {
+		return 0
+	}
+	return c.vals[h]
 }
 
 // Add increments a counter by n.
-func (c *Counters) Add(name string, n uint64) {
-	if c.m == nil {
-		c.m = make(map[string]uint64)
-	}
-	c.m[name] += n
-}
+func (c *Counters) Add(name string, n uint64) { c.AddC(Intern(name), n) }
 
 // Inc increments a counter by one.
-func (c *Counters) Inc(name string) { c.Add(name, 1) }
+func (c *Counters) Inc(name string) { c.AddC(Intern(name), 1) }
 
 // Get returns a counter's value (zero if never touched).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	h, ok := lookup(name)
+	if !ok {
+		return 0
+	}
+	return c.GetC(h)
+}
 
-// Snapshot returns a copy of the current counter values, for computing
-// per-phase deltas.
+// Snapshot returns a copy of the current nonzero counter values, for
+// computing per-phase deltas.
 func (c *Counters) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
+	out := make(map[string]uint64, len(c.vals))
+	for h, v := range c.vals {
+		if v != 0 {
+			out[CounterName(Counter(h))] = v
+		}
 	}
 	return out
 }
 
 // Since returns the counter's increase since a snapshot.
 func (c *Counters) Since(snap map[string]uint64, name string) uint64 {
-	return c.m[name] - snap[name]
+	return c.Get(name) - snap[name]
 }
 
-// Names returns all counter names in sorted order.
+// Names returns the names of all nonzero counters in sorted order.
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for n := range c.m {
-		names = append(names, n)
+	names := make([]string, 0, len(c.vals))
+	for h, v := range c.vals {
+		if v != 0 {
+			names = append(names, CounterName(Counter(h)))
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -57,7 +159,7 @@ func (c *Counters) Names() []string {
 func (c *Counters) String() string {
 	var sb strings.Builder
 	for _, n := range c.Names() {
-		fmt.Fprintf(&sb, "%-40s %12d\n", n, c.m[n])
+		fmt.Fprintf(&sb, "%-40s %12d\n", n, c.Get(n))
 	}
 	return sb.String()
 }

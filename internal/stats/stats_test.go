@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -38,6 +40,101 @@ func TestStringContainsAll(t *testing.T) {
 	}
 	if strings.Index(s, "hits") > strings.Index(s, "misses") {
 		t.Fatal("render not sorted")
+	}
+}
+
+func TestHandleStringParity(t *testing.T) {
+	h := Intern("parity.test.counter")
+	if Intern("parity.test.counter") != h {
+		t.Fatal("re-interning the same name returned a different handle")
+	}
+	if CounterName(h) != "parity.test.counter" {
+		t.Fatalf("CounterName = %q", CounterName(h))
+	}
+	var c Counters
+	c.AddC(h, 7)
+	c.Inc("parity.test.counter")
+	if c.Get("parity.test.counter") != 8 || c.GetC(h) != 8 {
+		t.Fatalf("handle/string views disagree: %d vs %d",
+			c.Get("parity.test.counter"), c.GetC(h))
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	var c Counters
+	c.Add("phase.work", 10)
+	snap := c.Snapshot()
+	c.Add("phase.work", 5)
+	c.Add("phase.other", 2)
+	if c.Since(snap, "phase.work") != 5 {
+		t.Fatalf("Since(work) = %d", c.Since(snap, "phase.work"))
+	}
+	if c.Since(snap, "phase.other") != 2 {
+		t.Fatalf("Since(other) = %d", c.Since(snap, "phase.other"))
+	}
+}
+
+func TestUnknownHandleGetC(t *testing.T) {
+	var c Counters
+	h := Intern("never.touched.in.this.instance")
+	if c.GetC(h) != 0 {
+		t.Fatal("GetC on untouched instance nonzero")
+	}
+}
+
+// TestConcurrentIntern exercises the registry under -race: many goroutines
+// interning overlapping names while separate Counters instances increment.
+func TestConcurrentIntern(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var c Counters
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("race.%d", i%17)
+				h := Intern(name)
+				c.IncC(h)
+				c.Add(name, 1)
+			}
+			if c.Get("race.0") == 0 {
+				t.Error("lost increments")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSteadyStateAddAllocFree verifies the hot-path increment does not
+// allocate once the value slice covers the handle.
+func TestSteadyStateAddAllocFree(t *testing.T) {
+	h := Intern("alloc.test")
+	var c Counters
+	c.IncC(h) // grow once
+	allocs := testing.AllocsPerRun(100, func() { c.AddC(h, 1) })
+	if allocs != 0 {
+		t.Fatalf("AddC allocates %v per op in steady state", allocs)
+	}
+}
+
+func BenchmarkIncHandle(b *testing.B) {
+	h := Intern("bench.handle")
+	var c Counters
+	c.IncC(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.IncC(h)
+	}
+}
+
+func BenchmarkIncString(b *testing.B) {
+	var c Counters
+	c.Inc("bench.string")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc("bench.string")
 	}
 }
 
