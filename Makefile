@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test shape shape-full bench
+.PHONY: tier1 vet build test shape shape-full bench bench-enforce
 
 tier1: vet build test shape
 
@@ -32,7 +32,12 @@ shape-full:
 
 # Benchmarks for the hot packages plus the tracked core baseline:
 # killi-bench rewrites BENCH_core.json's "current" entry (ns/event,
-# allocs/event, serial sweep wall-clock) while preserving "baseline".
+# allocs/event, serial sweep wall-clock, cold/warm cached sweep) while
+# preserving "baseline". `make bench-enforce` additionally fails on a >15%
+# regression against the committed baseline — the same gate CI runs.
 bench:
 	$(GO) test -bench=. -benchmem ./internal/engine ./internal/stats
 	$(GO) run ./cmd/killi-bench -o BENCH_core.json
+
+bench-enforce:
+	$(GO) run ./cmd/killi-bench -o BENCH_core.json -enforce

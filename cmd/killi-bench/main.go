@@ -2,16 +2,25 @@
 // tracked JSON baseline (BENCH_core.json), so performance regressions show
 // up in review like any other diff.
 //
-// Two metrics are captured:
+// Four metrics are captured:
 //
 //   - engine ns/event and allocs/event: a steady-state event-queue
 //     microbenchmark (reused engine and handler, 100 events per
 //     iteration) via testing.Benchmark;
 //   - sweep_seconds: wall-clock for the serial (-parallel 1) four-workload
-//     Figure 4/5 sweep at 0.625xVDD with 2500 requests per CU.
+//     Figure 4/5 sweep at 0.625xVDD with 2500 requests per CU, no cache;
+//   - sweep_cold_seconds: the same sweep writing a fresh result cache
+//     (simulate everything, persist every task result);
+//   - sweep_warm_seconds: the same sweep again over that cache (every
+//     task served from disk).
 //
 // When the output file already exists, its "baseline" entry is preserved
 // and only "current" is rewritten; delete the file to rebase the baseline.
+//
+// With -enforce, the run exits nonzero when the fresh measurement regresses
+// more than 15% against the existing file's baseline entry on ns_per_event
+// or sweep_seconds — this is how CI turns the committed baseline into a
+// gate instead of an artifact.
 package main
 
 import (
@@ -27,9 +36,11 @@ import (
 )
 
 type point struct {
-	NsPerEvent     float64 `json:"ns_per_event"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	SweepSeconds   float64 `json:"sweep_seconds"`
+	NsPerEvent       float64 `json:"ns_per_event"`
+	AllocsPerEvent   float64 `json:"allocs_per_event"`
+	SweepSeconds     float64 `json:"sweep_seconds"`
+	SweepColdSeconds float64 `json:"sweep_cold_seconds"`
+	SweepWarmSeconds float64 `json:"sweep_warm_seconds"`
 }
 
 type report struct {
@@ -74,38 +85,85 @@ func benchEngine() (nsPerEvent, allocsPerEvent float64) {
 		float64(res.AllocsPerOp()) / eventsPerIter
 }
 
-func benchSweep() (float64, error) {
-	cfg := experiments.Config{
+// sweepConfig is the fixed benchmark sweep; cacheDir == "" disables the
+// result cache.
+func sweepConfig(cacheDir string) experiments.Config {
+	return experiments.Config{
 		Voltage:       0.625,
 		RequestsPerCU: 2500,
 		Seed:          1,
 		Workloads:     []string{"nekbone", "quicksilver", "xsbench", "fft"},
 		Parallelism:   1,
+		CacheDir:      cacheDir,
 	}
+}
+
+func benchSweep(cacheDir string) (float64, error) {
 	start := time.Now()
-	if _, err := experiments.Run(cfg); err != nil {
+	if _, err := experiments.Run(sweepConfig(cacheDir)); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil
 }
 
+// enforce compares a fresh measurement against the committed baseline and
+// returns the violations (empty = within budget). Only the two throughput
+// metrics gate: allocs are pinned exactly by tests, and the cold/warm cache
+// numbers track sweep_seconds plus I/O that CI runners make too noisy to
+// bound tightly.
+func enforce(baseline, cur point) []string {
+	const maxRegress = 1.15
+	var bad []string
+	if baseline.NsPerEvent > 0 && cur.NsPerEvent > baseline.NsPerEvent*maxRegress {
+		bad = append(bad, fmt.Sprintf("ns_per_event %.1f exceeds baseline %.1f by more than 15%%",
+			cur.NsPerEvent, baseline.NsPerEvent))
+	}
+	if baseline.SweepSeconds > 0 && cur.SweepSeconds > baseline.SweepSeconds*maxRegress {
+		bad = append(bad, fmt.Sprintf("sweep_seconds %.3f exceeds baseline %.3f by more than 15%%",
+			cur.SweepSeconds, baseline.SweepSeconds))
+	}
+	return bad
+}
+
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file for the benchmark report")
+	gate := flag.Bool("enforce", false, "exit nonzero when ns_per_event or sweep_seconds regresses >15% against the file's baseline entry")
 	flag.Parse()
 
 	ns, allocs := benchEngine()
 	fmt.Fprintf(os.Stderr, "engine: %.1f ns/event, %.2f allocs/event\n", ns, allocs)
-	sweep, err := benchSweep()
+	sweep, err := benchSweep("")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-bench: sweep: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "sweep:  %.3f s (4 workloads, 2500 req/CU, serial)\n", sweep)
+	fmt.Fprintf(os.Stderr, "sweep:  %.3f s (4 workloads, 2500 req/CU, serial, no cache)\n", sweep)
+
+	cacheDir, err := os.MkdirTemp("", "killi-bench-cache-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(cacheDir)
+	cold, err := benchSweep(cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: cold sweep: %v\n", err)
+		os.Exit(1)
+	}
+	warm, err := benchSweep(cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: warm sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cache:  cold %.3f s -> warm %.3f s (%.1f%% of cold)\n",
+		cold, warm, 100*warm/cold)
 
 	cur := point{
-		NsPerEvent:     ns,
-		AllocsPerEvent: allocs,
-		SweepSeconds:   sweep,
+		NsPerEvent:       ns,
+		AllocsPerEvent:   allocs,
+		SweepSeconds:     sweep,
+		SweepColdSeconds: cold,
+		SweepWarmSeconds: warm,
 	}
 	rep := report{Baseline: cur, Current: cur}
 	if prev, err := os.ReadFile(*out); err == nil {
@@ -125,7 +183,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "killi-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (baseline sweep %.3fs -> current %.3fs, %.2fx)\n",
+	fmt.Printf("wrote %s (baseline sweep %.3fs -> current %.3fs, %.2fx; warm cache %.3fs)\n",
 		*out, rep.Baseline.SweepSeconds, rep.Current.SweepSeconds,
-		rep.Baseline.SweepSeconds/rep.Current.SweepSeconds)
+		rep.Baseline.SweepSeconds/rep.Current.SweepSeconds, warm)
+
+	if *gate {
+		if bad := enforce(rep.Baseline, cur); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "killi-bench: REGRESSION: %s\n", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "killi-bench: within baseline budget")
+	}
 }

@@ -9,6 +9,9 @@
 // Both figures come from the same sweep; the flag selects what to print.
 // -parallel fans the workload × scheme simulations out over a worker pool
 // (default GOMAXPROCS); results are bit-for-bit identical to -parallel 1.
+// -cache <dir> keeps a content-addressed result cache across invocations,
+// so re-running a figure with unchanged inputs is a disk read per task;
+// cached rows are bit-identical to recomputed ones.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all ten)")
 	warmup := flag.Int("warmup", 2, "warm-up kernels before the measured run (DFH persists; 0 includes training cost)")
 	parallel := flag.Int("parallel", -1, "concurrent simulations (1 = serial, -1 = GOMAXPROCS); output is identical at any value")
+	cacheDir := flag.String("cache", "", "directory for the content-addressed result cache (empty = recompute everything); cached rows are bit-identical")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
@@ -78,6 +82,7 @@ func main() {
 		Seed:          *seed,
 		WarmupKernels: *warmup,
 		Parallelism:   *parallel,
+		CacheDir:      *cacheDir,
 	}
 	cfg.Workloads = experiments.SplitList(*workloads)
 	rows, err := experiments.Run(cfg)

@@ -8,7 +8,10 @@
 // independent of cache policies"; the seam lives here).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes a cache geometry.
 type Config struct {
@@ -35,20 +38,21 @@ func (c Config) validate() error {
 }
 
 // Entry is one tag-array entry. Protection schemes own Class and Disabled;
-// the cache core maintains Tag, Valid, and LastUse.
+// the cache core maintains Tag, Valid, and LastUse. Field order packs the
+// struct into 32 bytes so a 16-way set scan touches 8 cache lines, not 10.
 type Entry struct {
-	Tag   uint64
-	Valid bool
+	Tag uint64
+	// LastUse is the recency stamp maintained by Touch/Install; larger is
+	// more recent.
+	LastUse uint64
 	// Class is scheme-defined (Killi stores the DFH state here so its
 	// allocation priority can see it).
 	Class int
+	Valid bool
 	// Disabled marks a line the replacement policy must never select and
 	// lookups must never hit (Killi's b'11, MBIST-disabled lines, MS-ECC
 	// capacity loss).
 	Disabled bool
-	// LastUse is the recency stamp maintained by Touch/Install; larger is
-	// more recent.
-	LastUse uint64
 }
 
 // VictimFunc picks a victim way from a set's entries, or -1 if no entry may
@@ -60,6 +64,13 @@ type Cache struct {
 	cfg   Config
 	sets  [][]Entry
 	clock uint64
+	// Address-slicing fast path: LineBytes is always a power of two and
+	// Sets almost always is, so Index/Tag — on the critical path of every
+	// simulated access — run as shifts and masks instead of div/mod.
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	pow2Sets  bool
 }
 
 // New returns an empty cache with the given geometry. It panics on invalid
@@ -69,6 +80,12 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	c := &Cache{cfg: cfg, sets: make([][]Entry, cfg.Sets)}
+	c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+	if cfg.Sets&(cfg.Sets-1) == 0 {
+		c.pow2Sets = true
+		c.setShift = uint(bits.TrailingZeros64(uint64(cfg.Sets)))
+		c.setMask = uint64(cfg.Sets - 1)
+	}
 	backing := make([]Entry, cfg.Sets*cfg.Ways)
 	for s := range c.sets {
 		c.sets[s] = backing[s*cfg.Ways : (s+1)*cfg.Ways : (s+1)*cfg.Ways]
@@ -81,23 +98,32 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Index returns the set index for an address.
 func (c *Cache) Index(addr uint64) int {
-	return int(addr / uint64(c.cfg.LineBytes) % uint64(c.cfg.Sets))
+	if c.pow2Sets {
+		return int(addr >> c.lineShift & c.setMask)
+	}
+	return int(addr >> c.lineShift % uint64(c.cfg.Sets))
 }
 
 // Tag returns the tag for an address.
 func (c *Cache) Tag(addr uint64) uint64 {
-	return addr / uint64(c.cfg.LineBytes) / uint64(c.cfg.Sets)
+	if c.pow2Sets {
+		return addr >> c.lineShift >> c.setShift
+	}
+	return addr >> c.lineShift / uint64(c.cfg.Sets)
 }
 
 // LineID returns a dense identifier for (set, way), usable as a data-array
 // index.
 func (c *Cache) LineID(set, way int) int { return set*c.cfg.Ways + way }
 
-// Lookup searches a set for a valid, enabled entry with the given tag.
+// Lookup searches a set for a valid, enabled entry with the given tag. The
+// tag compare comes first: it rejects 15 of 16 ways with one comparison,
+// where leading with the flag checks costs three per way on a warm cache.
 func (c *Cache) Lookup(set int, tag uint64) (way int, hit bool) {
-	for w := range c.sets[set] {
-		e := &c.sets[set][w]
-		if e.Valid && !e.Disabled && e.Tag == tag {
+	es := c.sets[set]
+	for w := range es {
+		e := &es[w]
+		if e.Tag == tag && e.Valid && !e.Disabled {
 			return w, true
 		}
 	}

@@ -43,12 +43,22 @@ func (a event) less(b event) bool {
 	return a.seq < b.seq
 }
 
+// seedCap is the queue capacity served by the Engine's inline backing
+// array. Queues that stay within it (the simulator's in-flight event count
+// rarely passes a few hundred) never allocate for event storage.
+const seedCap = 128
+
 // Engine is a discrete-event simulator clock. The zero value is ready to
-// use at cycle 0.
+// use at cycle 0. An Engine must not be copied after its first Schedule:
+// the queue starts on the inline seed array.
 type Engine struct {
 	now    uint64
 	seq    uint64
 	events []event // four-ary heap: children of i at 4i+1..4i+4
+	// seed is the initial backing array for events, so a fresh Engine
+	// schedules without the append growth ladder (and, when the Engine
+	// itself is stack-allocated, without any heap allocation at all).
+	seed [seedCap]event
 }
 
 // Now returns the current cycle.
@@ -64,6 +74,9 @@ func (e *Engine) Schedule(delay uint64, fn func()) {
 // same-cycle FIFO ordering as Schedule. Reusing handler objects keeps the
 // call allocation-free.
 func (e *Engine) ScheduleHandler(delay uint64, h Handler) {
+	if e.events == nil {
+		e.events = e.seed[:0]
+	}
 	e.seq++
 	e.events = append(e.events, event{when: e.now + delay, seq: e.seq, h: h})
 	e.siftUp(len(e.events) - 1)
@@ -82,9 +95,17 @@ func (e *Engine) siftUp(i int) {
 	e.events[i] = ev
 }
 
+// siftDown restores heap order after the element at i was replaced
+// (typically by the former last element during a pop). It uses the
+// bottom-up variant: walk the hole down the min-child path to a leaf
+// comparing only siblings, then sift the displaced element back up. The
+// displaced element is usually among the most recently scheduled, so it
+// belongs near a leaf and the up-pass ends after one comparison — saving
+// the per-level compare against it that the classic loop pays.
 func (e *Engine) siftDown(i int) {
 	n := len(e.events)
 	ev := e.events[i]
+	start := i
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -100,11 +121,16 @@ func (e *Engine) siftDown(i int) {
 				best = c
 			}
 		}
-		if !e.events[best].less(ev) {
-			break
-		}
 		e.events[i] = e.events[best]
 		i = best
+	}
+	for i > start {
+		parent := (i - 1) / 4
+		if !ev.less(e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
 	}
 	e.events[i] = ev
 }

@@ -24,6 +24,7 @@ import (
 	"killi/internal/gpu"
 	"killi/internal/killi"
 	"killi/internal/protection"
+	"killi/internal/simcache"
 	"killi/internal/workload"
 )
 
@@ -159,6 +160,14 @@ type Config struct {
 	// own gpu.System and protection.Scheme and the merge order is fixed,
 	// so results are bit-for-bit identical at any parallelism.
 	Parallelism int
+	// CacheDir, when non-empty, enables the content-addressed result cache
+	// (internal/simcache) rooted at that directory: every task result is
+	// keyed by a digest of its complete input description (GPU config,
+	// scheme, workload, seed, trace length, warmup kernels) and reused by
+	// later runs with identical inputs. Cached rows are bit-identical to
+	// recomputed ones; corrupted or stale entries are recomputed. Cached
+	// results carry no debug Counters.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -228,23 +237,21 @@ func kernelSeed(seed uint64, k int) uint64 {
 	return seed ^ (uint64(k) * 0xa24baed4963ee407)
 }
 
-// kernelTraces generates the warmup + measured request traces for one
-// workload: element k holds kernel k's per-CU traces. The result is shared
-// read-only by every scheme task of that workload.
-func kernelTraces(w workload.Workload, cus, perCU int, seed uint64, warmups int) [][][]workload.Request {
-	out := make([][][]workload.Request, warmups+1)
+// kernelSeeds lists the trace seeds for a warmup+measured kernel sequence.
+func kernelSeeds(seed uint64, warmups int) []uint64 {
+	out := make([]uint64, warmups+1)
 	for k := range out {
-		out[k] = w.Traces(cus, perCU, kernelSeed(seed, k))
+		out[k] = kernelSeed(seed, k)
 	}
 	return out
 }
 
 // runKernels drives one simulation through every warmup kernel and returns
 // the measured (final) kernel's result.
-func runKernels(sys *gpu.System, traces [][][]workload.Request) gpu.Result {
+func runKernels(sys *gpu.System, traces *workload.TraceSet) gpu.Result {
 	var res gpu.Result
-	for _, t := range traces {
-		res = sys.Run(t)
+	for k := 0; k < traces.Kernels(); k++ {
+		res = sys.Run(traces.Kernel(k))
 	}
 	return res
 }
@@ -254,6 +261,42 @@ func runKernels(sys *gpu.System, traces [][][]workload.Request) gpu.Result {
 type task struct {
 	workload int
 	scheme   int // index into Schemes(), or -1 for the baseline
+}
+
+// taskDesc canonically describes one sweep task's complete inputs for the
+// result cache. The GPU config is rendered with %#v — it is deliberately a
+// flat value type (no pointers, maps, or function fields), so the rendering
+// is a stable, exhaustive serialization; any new config field automatically
+// changes the key. The scheme is identified by its catalog name, which
+// encodes its configuration (e.g. "killi-1:64").
+func taskDesc(cfg Config, g gpu.Config, schemeName, workloadName string) string {
+	return fmt.Sprintf("gpu=%#v\nscheme=%s\nworkload=%s\nseed=%d\nrequests=%d\nwarmup=%d",
+		g, schemeName, workloadName, cfg.Seed, cfg.RequestsPerCU, cfg.WarmupKernels)
+}
+
+// cacheable extracts the scalar slice of a result that the cache stores.
+func cacheable(res gpu.Result) simcache.Result {
+	return simcache.Result{
+		Cycles:        res.Cycles,
+		Instructions:  res.Instructions,
+		L2Misses:      res.L2Misses,
+		L2Accesses:    res.L2Accesses,
+		MemAccesses:   res.MemAccesses,
+		DisabledLines: res.DisabledLines,
+	}
+}
+
+// cachedResult rebuilds a gpu.Result from a cache entry. Counters stay nil:
+// the sweep merge consumes only the scalars.
+func cachedResult(c simcache.Result) gpu.Result {
+	return gpu.Result{
+		Cycles:        c.Cycles,
+		Instructions:  c.Instructions,
+		L2Misses:      c.L2Misses,
+		L2Accesses:    c.L2Accesses,
+		MemAccesses:   c.MemAccesses,
+		DisabledLines: c.DisabledLines,
+	}
 }
 
 // Run executes the full sweep: for each workload, a fault-free baseline at
@@ -267,17 +310,29 @@ func Run(cfg Config) ([]Row, error) {
 
 	// Resolve workloads and generate every kernel's traces up front, so
 	// unknown names fail before any simulation runs and the (read-only)
-	// traces are shared across that workload's tasks.
+	// packed traces are shared across that workload's tasks.
+	seeds := kernelSeeds(cfg.Seed, cfg.WarmupKernels)
 	loads := make([]workload.Workload, len(cfg.Workloads))
-	traces := make([][][][]workload.Request, len(cfg.Workloads))
+	traces := make([]*workload.TraceSet, len(cfg.Workloads))
 	for i, name := range cfg.Workloads {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		loads[i] = w
-		traces[i] = kernelTraces(w, base.CUs, cfg.RequestsPerCU, cfg.Seed, cfg.WarmupKernels)
+		traces[i] = w.TraceSet(base.CUs, cfg.RequestsPerCU, seeds)
 	}
+
+	// The sweep runs every task at one of two operating points — the
+	// fault-free nominal baseline and the LV point — so the identical
+	// 32K-line fault population each task would sample from cfg.FaultSeed
+	// is built and voltage-resolved exactly once per point and handed to
+	// every System read-only.
+	gBase, gLV := base, base
+	gBase.Voltage = 1.0
+	gLV.Voltage = cfg.Voltage
+	faultsBase := gpu.BuildSharedFaults(gBase)
+	faultsLV := gpu.BuildSharedFaults(gLV)
 
 	tasks := make([]task, 0, len(loads)*(len(specs)+1))
 	for wi := range loads {
@@ -287,17 +342,44 @@ func Run(cfg Config) ([]Row, error) {
 		}
 	}
 
+	var store *simcache.Store
+	if cfg.CacheDir != "" {
+		var err error
+		if store, err = simcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+
 	runTask := func(t task) gpu.Result {
 		g := base
 		var scheme protection.Scheme
+		var schemeName string
+		var faults *gpu.SharedFaults
 		if t.scheme < 0 {
 			g.Voltage = 1.0
 			scheme = protection.NewNone()
+			schemeName = "none"
+			faults = faultsBase
 		} else {
 			g.Voltage = cfg.Voltage
 			scheme = specs[t.scheme].New()
+			schemeName = specs[t.scheme].Name
+			faults = faultsLV
 		}
-		return runKernels(gpu.New(g, scheme), traces[t.workload])
+		var key string
+		if store != nil {
+			key = simcache.Key(taskDesc(cfg, g, schemeName, loads[t.workload].Name))
+			if c, ok := store.Get(key); ok {
+				return cachedResult(c)
+			}
+		}
+		res := runKernels(gpu.NewShared(g, scheme, faults), traces[t.workload])
+		if store != nil {
+			// Best-effort: a full disk or read-only cache directory must
+			// not fail the sweep; Store.WriteFailures keeps it observable.
+			_ = store.Put(key, cacheable(res))
+		}
+		return res
 	}
 
 	results := make([]gpu.Result, len(tasks))
@@ -350,7 +432,10 @@ func Run(cfg Config) ([]Row, error) {
 }
 
 // RunOne runs a single workload × scheme pair at the given voltage and
-// returns the raw result — the building block the examples use.
+// returns the raw result — the building block the examples use. It follows
+// Run's kernel semantics: cfg.WarmupKernels unmeasured warmup kernels
+// precede the measured one, each re-walking the workload's data structures
+// in a fresh request order.
 func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage float64) (gpu.Result, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName(workloadName)
@@ -359,6 +444,6 @@ func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage f
 	}
 	g := cfg.baseGPU()
 	g.Voltage = voltage
-	traces := w.Traces(g.CUs, cfg.RequestsPerCU, cfg.Seed)
-	return gpu.New(g, scheme).Run(traces), nil
+	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
+	return runKernels(gpu.New(g, scheme), traces), nil
 }

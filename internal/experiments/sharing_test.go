@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"killi/internal/killi"
+	"killi/internal/protection"
+)
+
+// TestRunSharedMapsMatchRunOne cross-checks the sweep's shared
+// pre-resolved fault maps and packed traces against the independent RunOne
+// path, which builds a private fault map per system: the same workload ×
+// scheme × warmup configuration must produce identical cycle counts and
+// MPKI through both. It also pins RunOne's kernel semantics — if RunOne
+// ignored cfg.WarmupKernels it would measure a different kernel than Run
+// and diverge here.
+func TestRunSharedMapsMatchRunOne(t *testing.T) {
+	cfg := Config{
+		Voltage:       0.625,
+		RequestsPerCU: 400,
+		Seed:          1,
+		Workloads:     []string{"xsbench"},
+		WarmupKernels: 1,
+	}
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+
+	baseRes, err := RunOne(cfg, "xsbench", protection.NewNone(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.Cycles != row.BaselineCycles {
+		t.Fatalf("baseline cycles diverge: RunOne %d, Run %d", baseRes.Cycles, row.BaselineCycles)
+	}
+	if got, want := baseRes.MPKI(), row.BaselineMPKI; got != want {
+		t.Fatalf("baseline MPKI diverges: RunOne %v, Run %v", got, want)
+	}
+
+	res, err := RunOne(cfg, "xsbench", killi.New(killi.Config{Ratio: 64}), cfg.Voltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "killi-1:64"
+	if got, want := res.MPKI(), row.MPKI[name]; got != want {
+		t.Fatalf("%s MPKI diverges: RunOne %v, Run %v", name, got, want)
+	}
+	if got, want := float64(res.Cycles)/float64(baseRes.Cycles), row.Normalized[name]; got != want {
+		t.Fatalf("%s normalized time diverges: RunOne %v, Run %v", name, got, want)
+	}
+	if got, want := res.DisabledLines, row.Disabled[name]; got != want {
+		t.Fatalf("%s disabled lines diverge: RunOne %d, Run %d", name, got, want)
+	}
+}
+
+// TestRunOneHonorsWarmupKernels checks the warmup field changes what
+// RunOne measures: with DFH training pushed into a warmup kernel, the
+// measured kernel of a Killi run is not the same kernel as an untrained
+// run — the configurations must produce different results.
+func TestRunOneHonorsWarmupKernels(t *testing.T) {
+	cfg := Config{
+		Voltage:       0.625,
+		RequestsPerCU: 400,
+		Seed:          1,
+	}
+	cold, err := RunOne(cfg, "xsbench", killi.New(killi.Config{Ratio: 64}), cfg.Voltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmupKernels = 1
+	warm, err := RunOne(cfg, "xsbench", killi.New(killi.Config{Ratio: 64}), cfg.Voltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured kernel differs both in request order (fresh kernel
+	// seed) and in starting DFH state; identical results would mean the
+	// warmup ran as the measured kernel (the old silently-ignored bug).
+	if cold.Cycles == warm.Cycles && cold.L2Misses == warm.L2Misses &&
+		cold.Instructions == warm.Instructions {
+		t.Fatalf("warmup kernel had no effect on the measured kernel: %+v", cold)
+	}
+}

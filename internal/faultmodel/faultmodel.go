@@ -202,12 +202,18 @@ type Fault struct {
 // Map is a persistent fault population for an array of lines, generated at
 // a reference (minimum) voltage. Faults for any voltage ≥ the reference are
 // the subset whose Severity is within that voltage's failure probability.
+//
+// The population is stored packed: one flat fault buffer with per-line
+// offsets, so a 32K-line map is two allocations instead of one slice per
+// faulty line, and whole-map scans walk contiguous memory. A Map is
+// immutable after construction and safe to share across goroutines.
 type Map struct {
 	model   Model
 	bits    int
 	freqGHz float64
 	refProb float64
-	perLine [][]Fault
+	faults  []Fault // line-major, sorted by bit within a line
+	offsets []int32 // line i's faults are faults[offsets[i]:offsets[i+1]]
 }
 
 // NewMap samples a fault population for lines × bitsPerLine cells at
@@ -223,12 +229,12 @@ func NewMap(r *xrand.Rand, m Model, lines, bitsPerLine int, refV, freqGHz float6
 		bits:    bitsPerLine,
 		freqGHz: freqGHz,
 		refProb: refProb,
-		perLine: make([][]Fault, lines),
+		offsets: make([]int32, lines+1),
 	}
 	for line := 0; line < lines; line++ {
 		// Geometric skipping through the line's cells.
 		for bit := r.Geometric(refProb); bit < bitsPerLine; {
-			fm.perLine[line] = append(fm.perLine[line], Fault{
+			fm.faults = append(fm.faults, Fault{
 				Bit:      bit,
 				StuckAt:  uint(r.Uint64() & 1),
 				Severity: r.Float64() * refProb,
@@ -239,6 +245,7 @@ func NewMap(r *xrand.Rand, m Model, lines, bitsPerLine int, refV, freqGHz float6
 			}
 			bit += skip + 1
 		}
+		fm.offsets[line+1] = int32(len(fm.faults))
 	}
 	return fm
 }
@@ -257,28 +264,42 @@ func NewMapExplicit(m Model, bitsPerLine int, freqGHz float64, perLine [][]Fault
 			}
 		}
 	}
-	return &Map{
+	fm := &Map{
 		model:   m,
 		bits:    bitsPerLine,
 		freqGHz: freqGHz,
 		refProb: m.CellFailureProb(0, freqGHz),
-		perLine: perLine,
+		offsets: make([]int32, len(perLine)+1),
 	}
+	for i, faults := range perLine {
+		fm.faults = append(fm.faults, faults...)
+		fm.offsets[i+1] = int32(len(fm.faults))
+	}
+	return fm
 }
 
 // Lines returns the number of lines covered by the map.
-func (fm *Map) Lines() int { return len(fm.perLine) }
+func (fm *Map) Lines() int { return len(fm.offsets) - 1 }
 
 // BitsPerLine returns the per-line cell count.
 func (fm *Map) BitsPerLine() int { return fm.bits }
 
 // ActiveFaults returns the faults of a line active at voltage vNorm
 // (vNorm must be ≥ the map's reference voltage for meaningful results;
-// higher voltages yield subsets — the monotonicity property).
+// higher voltages yield subsets — the monotonicity property). The result
+// may alias the map's packed storage and must not be modified. Callers that
+// query many lines at one voltage should Resolve once instead: this method
+// re-evaluates the failure probability per call.
 func (fm *Map) ActiveFaults(line int, vNorm float64) []Fault {
 	p := fm.model.CellFailureProb(vNorm, fm.freqGHz)
+	all := fm.AllFaults(line)
+	if p >= fm.refProb {
+		// At or below the reference voltage every sampled fault is active
+		// (severities are drawn within [0, refProb)).
+		return all
+	}
 	var out []Fault
-	for _, f := range fm.perLine[line] {
+	for _, f := range all {
 		if f.Severity <= p {
 			out = append(out, f)
 		}
@@ -287,16 +308,19 @@ func (fm *Map) ActiveFaults(line int, vNorm float64) []Fault {
 }
 
 // AllFaults returns every sampled fault of a line (active at the reference
-// voltage).
-func (fm *Map) AllFaults(line int) []Fault { return fm.perLine[line] }
+// voltage). The result aliases the map's packed storage and must not be
+// modified.
+func (fm *Map) AllFaults(line int) []Fault {
+	return fm.faults[fm.offsets[line]:fm.offsets[line+1]:fm.offsets[line+1]]
+}
 
 // CountAtVoltage returns how many lines have exactly 0, exactly 1, and ≥2
 // active faults at vNorm — the empirical Figure 2 distribution.
 func (fm *Map) CountAtVoltage(vNorm float64) (zero, one, twoPlus int) {
 	p := fm.model.CellFailureProb(vNorm, fm.freqGHz)
-	for _, faults := range fm.perLine {
+	for line := 0; line < fm.Lines(); line++ {
 		n := 0
-		for _, f := range faults {
+		for _, f := range fm.AllFaults(line) {
 			if f.Severity <= p {
 				n++
 			}
@@ -312,3 +336,65 @@ func (fm *Map) CountAtVoltage(vNorm float64) (zero, one, twoPlus int) {
 	}
 	return zero, one, twoPlus
 }
+
+// Resolved is a read-only view of a Map with the active-fault decision
+// pre-computed at one voltage: per-line active fault sets in one packed
+// buffer plus the per-line 0/1/2+ fault class. Hot paths (the SRAM read
+// fault application, scheme classification checks) index dense slices
+// instead of re-filtering by severity per access. A Resolved is immutable
+// and safe to share across goroutines.
+type Resolved struct {
+	voltage float64
+	faults  []Fault // line-major active faults at voltage
+	offsets []int32
+	class   []uint8 // per-line active-fault class: 0, 1, or 2 (meaning ≥2)
+}
+
+// Resolve computes the voltage-resolved view of the map at vNorm. At or
+// below the reference voltage the view shares the map's packed buffers;
+// above it the active subset is filtered once into a fresh packed buffer.
+func (fm *Map) Resolve(vNorm float64) *Resolved {
+	p := fm.model.CellFailureProb(vNorm, fm.freqGHz)
+	lines := fm.Lines()
+	r := &Resolved{voltage: vNorm, class: make([]uint8, lines)}
+	if p >= fm.refProb {
+		r.faults, r.offsets = fm.faults, fm.offsets
+	} else {
+		r.offsets = make([]int32, lines+1)
+		for line := 0; line < lines; line++ {
+			for _, f := range fm.AllFaults(line) {
+				if f.Severity <= p {
+					r.faults = append(r.faults, f)
+				}
+			}
+			r.offsets[line+1] = int32(len(r.faults))
+		}
+	}
+	for line := 0; line < lines; line++ {
+		n := r.offsets[line+1] - r.offsets[line]
+		if n > 2 {
+			n = 2
+		}
+		r.class[line] = uint8(n)
+	}
+	return r
+}
+
+// Voltage returns the voltage the view was resolved at.
+func (r *Resolved) Voltage() float64 { return r.voltage }
+
+// Lines returns the number of lines covered by the view.
+func (r *Resolved) Lines() int { return len(r.class) }
+
+// LineFaults returns line i's active faults. The result aliases the view's
+// packed storage and must not be modified.
+func (r *Resolved) LineFaults(i int) []Fault {
+	return r.faults[r.offsets[i]:r.offsets[i+1]:r.offsets[i+1]]
+}
+
+// LineCount returns the number of active faults in line i.
+func (r *Resolved) LineCount(i int) int { return int(r.offsets[i+1] - r.offsets[i]) }
+
+// Class returns line i's fault class: 0, 1, or 2 for two-plus — the
+// classification Killi's DFH converges to at this voltage.
+func (r *Resolved) Class(i int) uint8 { return r.class[i] }

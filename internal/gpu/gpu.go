@@ -140,17 +140,16 @@ type System struct {
 	l1     []*cache.Cache
 
 	memory *mem.Memory
-	// versions holds the write version per line address, for lines whose
-	// version can still be observed (resident in some cache level or with
-	// an L2-side read in flight). Entries above versionsHighWater that are
-	// no longer observable are pruned, bounding memory on streaming
-	// workloads across repeated Runs.
-	versions map[uint64]uint32
-	// pending counts in-flight L2-side reads per line address: from the L1
-	// miss that schedules the L2 read until the hit or fill completes. A
-	// store during that window must advance the version because the fill
-	// evaluates memory content when it lands.
-	pending           map[uint64]int32
+	// lineState packs, per line address, the write version (meaningful for
+	// lines whose version can still be observed: resident in some cache
+	// level or with an L2-side read in flight) together with the count of
+	// in-flight L2-side reads — from the L1 miss that schedules the L2 read
+	// until the hit or fill completes. A store during that window must
+	// advance the version because the fill evaluates memory content when it
+	// lands. Once the table outgrows versionsHighWater, entries that are no
+	// longer observable are pruned, bounding memory on streaming workloads
+	// across repeated Runs.
+	lineState         lineTable
 	versionsHighWater int
 	// lineData mirrors the true (fault-free) content of each resident L2
 	// line, so the SDC ground-truth check on read hits is an 8-word compare
@@ -186,9 +185,45 @@ type cuState struct {
 	instrs    uint64
 }
 
+// SharedFaults bundles a persistent fault map with its voltage-resolved
+// view. Both halves are immutable, so one SharedFaults built by
+// BuildSharedFaults can back every System of a sweep whose tasks run at the
+// same (FaultSeed, model, line count, reference voltage, frequency,
+// operating voltage) — the sweep builds the 32K-line population once
+// instead of once per simulation.
+type SharedFaults struct {
+	Map      *faultmodel.Map
+	Resolved *faultmodel.Resolved
+}
+
+// BuildSharedFaults samples the fault population a System with this
+// configuration would build in New, pre-resolved at cfg.Voltage. The result
+// is bit-identical to the per-System map: same seed, same sampling order.
+func BuildSharedFaults(cfg Config) *SharedFaults {
+	refV := cfg.RefVoltage
+	if refV == 0 {
+		refV = cfg.Voltage
+	}
+	// Same rounding as the tag-array geometry (sets × ways), so the map is
+	// bit-identical to the one a private System would sample.
+	lines := (cfg.L2Bytes / cfg.LineBytes / cfg.L2Ways) * cfg.L2Ways
+	fm := faultmodel.NewMap(xrand.New(cfg.FaultSeed), cfg.FaultModel,
+		lines, bitvec.LineBits, refV, cfg.FreqGHz)
+	return &SharedFaults{Map: fm, Resolved: fm.Resolve(cfg.Voltage)}
+}
+
 // New builds a system with the given configuration and protection scheme.
 // The scheme is attached and Reset at the configured voltage.
 func New(cfg Config, scheme protection.Scheme) *System {
+	return NewShared(cfg, scheme, nil)
+}
+
+// NewShared builds a system over a pre-built fault population (nil falls
+// back to sampling a private map exactly as New does). The shared map and
+// resolved view are read-only; the System never mutates them, so one
+// SharedFaults can serve concurrent simulations. The view's voltage must
+// match cfg.Voltage and the map must cover the L2.
+func NewShared(cfg Config, scheme protection.Scheme, shared *SharedFaults) *System {
 	if cfg.CUs <= 0 || cfg.L2Banks <= 0 || cfg.WindowPerCU <= 0 {
 		panic("gpu: invalid configuration")
 	}
@@ -198,19 +233,22 @@ func New(cfg Config, scheme protection.Scheme) *System {
 		scheme:   scheme,
 		l2tags:   cache.New(cache.Config{Sets: l2Sets, Ways: cfg.L2Ways, LineBytes: cfg.LineBytes}),
 		memory:   mem.New(cfg.Mem),
-		versions: make(map[uint64]uint32),
-		pending:  make(map[uint64]int32),
 		bankFree: make([]uint64, cfg.L2Banks),
 		softRNG:  xrand.New(cfg.FaultSeed ^ 0x5eed50f7),
 		replRNG:  xrand.New(cfg.FaultSeed ^ 0xbe91ace5eed),
 	}
-	refV := cfg.RefVoltage
-	if refV == 0 {
-		refV = cfg.Voltage
+	if shared == nil {
+		shared = BuildSharedFaults(cfg)
 	}
-	fm := faultmodel.NewMap(xrand.New(cfg.FaultSeed), cfg.FaultModel,
-		s.l2tags.Config().Lines(), bitvec.LineBits, refV, cfg.FreqGHz)
-	s.l2data = sram.New(s.l2tags.Config().Lines(), fm, cfg.Voltage)
+	if shared.Map.Lines() < s.l2tags.Config().Lines() {
+		panic(fmt.Sprintf("gpu: shared fault map covers %d lines, L2 has %d",
+			shared.Map.Lines(), s.l2tags.Config().Lines()))
+	}
+	if shared.Resolved.Voltage() != cfg.Voltage {
+		panic(fmt.Sprintf("gpu: shared fault view resolved at %v, system runs at %v",
+			shared.Resolved.Voltage(), cfg.Voltage))
+	}
+	s.l2data = sram.NewResolved(s.l2tags.Config().Lines(), shared.Map, shared.Resolved)
 	s.lineData = make([]bitvec.Line, s.l2tags.Config().Lines())
 	s.versionsHighWater = 4 * s.l2tags.Config().Lines()
 	s.wayScratch = make([]int, cfg.L2Ways)
@@ -294,7 +332,7 @@ func lineContent(addr uint64, version uint32) bitvec.Line {
 
 // memContent returns the current true content of a line address.
 func (s *System) memContent(lineAddr uint64) bitvec.Line {
-	return lineContent(lineAddr, s.versions[lineAddr])
+	return lineContent(lineAddr, packedVersion(s.lineState.get(lineAddr)))
 }
 
 // observableElsewhere reports whether a line's version can be observed
@@ -304,7 +342,7 @@ func (s *System) memContent(lineAddr uint64) bitvec.Line {
 // content, so the pseudo-random line a future fetch generates is equally
 // arbitrary either way.
 func (s *System) observableElsewhere(lineAddr uint64, exceptCU int) bool {
-	if s.pending[lineAddr] > 0 {
+	if packedPending(s.lineState.get(lineAddr)) > 0 {
 		return true
 	}
 	addr := lineAddr * uint64(s.cfg.LineBytes)
@@ -319,49 +357,67 @@ func (s *System) observableElsewhere(lineAddr uint64, exceptCU int) bool {
 	return false
 }
 
-// observable reports whether a line's version is observable through any
-// cache level or in-flight read.
-func (s *System) observable(lineAddr uint64) bool {
+// resident reports whether any cache level holds the line.
+func (s *System) resident(lineAddr uint64) bool {
 	addr := lineAddr * uint64(s.cfg.LineBytes)
 	if _, hit := s.l2tags.Lookup(s.l2tags.Index(addr), s.l2tags.Tag(addr)); hit {
 		return true
 	}
-	return s.observableElsewhere(lineAddr, -1)
+	for _, l1 := range s.l1 {
+		if _, hit := l1.Lookup(l1.Index(addr), l1.Tag(addr)); hit {
+			return true
+		}
+	}
+	return false
 }
 
-// pruneVersions drops version entries for lines that are no longer
-// observable once the map exceeds its high-water mark (4x the L2 line
+// pruneLines rebuilds the line-state table without entries for lines that
+// are no longer observable (not resident in any cache level and with no
+// read in flight) once it exceeds its high-water mark (4x the L2 line
 // count), bounding memory across repeated Runs on streaming workloads.
-func (s *System) pruneVersions() {
-	if len(s.versions) <= s.versionsHighWater {
+// Survivors keep their exact packed state, and the table never shrinks
+// below the capacity the run has already justified, so a prune cannot
+// perturb simulation results beyond the documented version reset on
+// unobservable lines.
+func (s *System) pruneLines() {
+	if s.lineState.live <= s.versionsHighWater {
 		return
 	}
-	for lineAddr := range s.versions {
-		if !s.observable(lineAddr) {
-			delete(s.versions, lineAddr)
+	old := s.lineState
+	s.lineState.init(len(old.keys))
+	for i, k := range old.keys {
+		if k == 0 {
+			continue
+		}
+		lineAddr := k - 1
+		v := old.vals[i]
+		if packedPending(v) > 0 || s.resident(lineAddr) {
+			*s.lineState.ref(lineAddr) = v
 		}
 	}
 	s.ctr.IncC(cVersionPrunes)
 }
 
-// pendingDec retires one in-flight L2-side read for a line address.
+// pendingDec retires one in-flight L2-side read for a line address. The
+// count is decremented to zero rather than removed — table rebuilds on
+// every retire would show up in sweep profiles, and every reader treats a
+// zero count as absent. Dead entries are swept out wholesale by pruneLines
+// once the table outgrows its high-water mark.
 func (s *System) pendingDec(lineAddr uint64) {
-	if n := s.pending[lineAddr]; n > 1 {
-		s.pending[lineAddr] = n - 1
-	} else {
-		delete(s.pending, lineAddr)
-	}
+	p := s.lineState.ref(lineAddr)
+	*p = *p&^0xFFFFFFFF | uint64(uint32(*p)-1)
+	s.pruneLines()
 }
 
 // --- event plumbing ---
 
 // Event kinds for the free-listed simulation events.
 const (
-	evAccess uint8 = iota // a CU request reaches its L1
-	evComplete            // a request retires after a fixed latency
-	evL2Read              // an L1 miss reaches the L2 bank
-	evHitDone             // an L2 hit's data returns: fill L1, retire
-	evFillDone            // a memory fetch lands: install L2, fill L1, retire
+	evAccess   uint8 = iota // a CU request reaches its L1
+	evComplete              // a request retires after a fixed latency
+	evL2Read                // an L1 miss reaches the L2 bank
+	evHitDone               // an L2 hit's data returns: fill L1, retire
+	evFillDone              // a memory fetch lands: install L2, fill L1, retire
 )
 
 // gpuEvent is a reusable simulation event. The recurring per-request events
@@ -493,8 +549,8 @@ func (s *System) access(cu *cuState, addr uint64, write bool) {
 		l2Tag := s.l2tags.Tag(addr)
 		l2Way, l2Hit := s.l2tags.Lookup(l2Set, l2Tag)
 		if l1Hit || l2Hit || s.observableElsewhere(lineAddr, cu.id) {
-			s.versions[lineAddr]++
-			s.pruneVersions()
+			*s.lineState.ref(lineAddr) += 1 << 32
+			s.pruneLines()
 		}
 		if l1Hit {
 			l1.Touch(l1Set, l1Way)
@@ -522,7 +578,8 @@ func (s *System) access(cu *cuState, addr uint64, write bool) {
 	}
 	// L1 miss: go to the L2 bank. The line has an observer from here until
 	// the hit or fill completes.
-	s.pending[lineAddr]++
+	p := s.lineState.ref(lineAddr)
+	*p = *p&^0xFFFFFFFF | uint64(uint32(*p)+1)
 	s.schedule(s.cfg.L1Lat, evL2Read, cu, addr, false)
 }
 

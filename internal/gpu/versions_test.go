@@ -29,10 +29,10 @@ func streamTraces(cus, pairs int, startLine uint64) ([][]workload.Request, uint6
 }
 
 // TestVersionsMapBounded runs a streaming write workload over fresh
-// addresses across many Run calls and checks the version map stays bounded:
-// entries for lines no longer observable through any cache level are pruned
-// once the map crosses its high-water mark, instead of growing with the
-// total footprint forever.
+// addresses across many Run calls and checks the line-state table stays
+// bounded: entries for lines no longer observable through any cache level
+// are pruned once the table crosses its high-water mark, instead of
+// growing with the total footprint forever.
 func TestVersionsMapBounded(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CUs = 2
@@ -41,6 +41,11 @@ func TestVersionsMapBounded(t *testing.T) {
 	cfg.L2Banks = 4
 	sys := New(cfg, protection.NewNone())
 
+	// Pending increments do not trigger a prune themselves, so between
+	// prunes the table can overshoot the high-water mark by at most the
+	// in-flight read window.
+	bound := sys.versionsHighWater + cfg.CUs*cfg.WindowPerCU
+
 	totalLines := uint64(0)
 	next := uint64(1)
 	for run := 0; run < 8; run++ {
@@ -48,20 +53,32 @@ func TestVersionsMapBounded(t *testing.T) {
 		traces, next = streamTraces(cfg.CUs, 1000, next)
 		sys.Run(traces)
 		totalLines += uint64(cfg.CUs) * 1000
-		if len(sys.pending) != 0 {
-			t.Fatalf("run %d: %d pending reads left after drain", run, len(sys.pending))
+		// pendingDec decrements counts to zero in place (dead entries are
+		// swept in bulk at the high-water mark, not removed one by one);
+		// after a drain there must be no positive count left.
+		for i, k := range sys.lineState.keys {
+			if k == 0 {
+				continue
+			}
+			if n := packedPending(sys.lineState.vals[i]); n > 0 {
+				t.Fatalf("run %d: line %#x has %d pending reads after drain", run, k-1, n)
+			}
+		}
+		if sys.lineState.live > bound {
+			t.Fatalf("run %d: line-state table grew to %d entries (high water %d)",
+				run, sys.lineState.live, sys.versionsHighWater)
 		}
 	}
 	if totalLines <= uint64(sys.versionsHighWater) {
 		t.Fatalf("test footprint %d lines does not exceed the high-water mark %d",
 			totalLines, sys.versionsHighWater)
 	}
-	// Between prunes the map may grow back up to the high-water mark plus
+	// Between prunes the table may grow back up to the high-water mark plus
 	// the entries added before the next prune fires; it must not track the
 	// full 16000-line footprint.
-	if len(sys.versions) > sys.versionsHighWater+1 {
-		t.Fatalf("versions map grew to %d entries (high water %d, footprint %d lines)",
-			len(sys.versions), sys.versionsHighWater, totalLines)
+	if sys.lineState.live > bound {
+		t.Fatalf("line-state table grew to %d entries (high water %d, footprint %d lines)",
+			sys.lineState.live, sys.versionsHighWater, totalLines)
 	}
 	if sys.ctr.Get("l2.version_prunes") == 0 {
 		t.Fatal("pruning never triggered despite footprint above high water")
@@ -70,7 +87,7 @@ func TestVersionsMapBounded(t *testing.T) {
 
 // TestUnobservableStoreSkipsVersionEntry checks that a store to a line
 // absent from every cache level (and with no read in flight) does not
-// create a version-map entry.
+// record a version bump.
 func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CUs = 1
@@ -79,8 +96,8 @@ func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
 		{Addr: 0x1000, Write: true, Instrs: 4}, // blind store, nothing resident
 	}}
 	sys.Run(traces)
-	if len(sys.versions) != 0 {
-		t.Fatalf("blind store created %d version entries", len(sys.versions))
+	if v := packedVersion(sys.lineState.get(0x1000 / 64)); v != 0 {
+		t.Fatalf("blind store recorded version %d, want 0", v)
 	}
 
 	// A read followed by a store to the same line must record the version:
@@ -90,7 +107,7 @@ func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
 		{Addr: 0x2000, Write: true, Instrs: 4},
 	}}
 	sys.Run(traces)
-	if v := sys.versions[0x2000/64]; v != 1 {
+	if v := packedVersion(sys.lineState.get(0x2000 / 64)); v != 1 {
 		t.Fatalf("observable store recorded version %d, want 1", v)
 	}
 }

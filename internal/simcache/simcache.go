@@ -1,0 +1,160 @@
+// Package simcache is a content-addressed, on-disk cache of simulation
+// results.
+//
+// A sweep task is fully determined by its inputs: the GPU configuration
+// (fault seed, voltage, geometry, latencies), the protection scheme, the
+// workload name, the trace seed and length, and the warmup kernel count.
+// The cache keys each task result by a SHA-256 digest of a canonical
+// description of those inputs plus a schema version, so re-running a figure
+// whose inputs are unchanged is a disk read instead of a simulation.
+//
+// Robustness properties:
+//
+//   - entries carry a checksum of their own payload, so a corrupted or
+//     truncated file is detected and reported as a miss (the caller
+//     recomputes and overwrites it), never served;
+//   - entries record the schema version; bump SchemaVersion whenever the
+//     simulator's observable behavior changes so stale results from older
+//     binaries are never served;
+//   - writes go through a temp file and an atomic rename, so concurrent
+//     writers (the sweep worker pool) and crashes leave either the old
+//     entry, the new entry, or nothing — never a torn file.
+//
+// The cache holds only the scalar result of a task (cycles, instruction and
+// miss counts, disabled lines) — everything the sweep merge consumes. Debug
+// counters are not cached; runs that need them bypass the cache.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// SchemaVersion invalidates every existing cache entry when bumped. It must
+// change whenever a code change alters simulation results (a golden-digest
+// change is the tell) or the Result layout.
+const SchemaVersion = 1
+
+// Result is the cacheable scalar slice of a simulation result.
+type Result struct {
+	Cycles        uint64 `json:"cycles"`
+	Instructions  uint64 `json:"instructions"`
+	L2Misses      uint64 `json:"l2_misses"`
+	L2Accesses    uint64 `json:"l2_accesses"`
+	MemAccesses   uint64 `json:"mem_accesses"`
+	DisabledLines int    `json:"disabled_lines"`
+}
+
+// entry is the on-disk representation of one cached result.
+type entry struct {
+	Schema   int    `json:"schema"`
+	Key      string `json:"key"`
+	Result   Result `json:"result"`
+	Checksum string `json:"checksum"`
+}
+
+// checksum digests the fields the entry protects: the schema, the key, and
+// the canonical encoding of the result.
+func (e entry) checksum() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%d %d %d %d %d %d",
+		e.Schema, e.Key,
+		e.Result.Cycles, e.Result.Instructions, e.Result.L2Misses,
+		e.Result.L2Accesses, e.Result.MemAccesses, e.Result.DisabledLines)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Key returns the content address for a canonical task description. The
+// schema version participates in the digest, so entries written by an
+// incompatible simulator are unreachable even before the in-file schema
+// check.
+func Key(desc string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("simcache/v%d\n%s", SchemaVersion, desc)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a cache directory. Methods are safe for concurrent use by the
+// sweep worker pool.
+type Store struct {
+	dir           string
+	hits, misses  atomic.Int64
+	writeFailures atomic.Int64
+}
+
+// Open returns a store over dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Hits and Misses report how many Get calls were served and not served
+// since Open. A corrupted or schema-mismatched entry counts as a miss.
+func (s *Store) Hits() int64   { return s.hits.Load() }
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// WriteFailures reports how many Put calls failed. Puts are best-effort
+// from the caller's perspective (a full disk must not fail a sweep), but
+// the count keeps failures observable.
+func (s *Store) WriteFailures() int64 { return s.writeFailures.Load() }
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Get returns the cached result for key. ok is false on a missing entry and
+// on any entry that fails validation — wrong schema, wrong key, or a
+// checksum mismatch from corruption — so the caller silently recomputes.
+func (s *Store) Get(key string) (Result, bool) {
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return Result{}, false
+	}
+	var e entry
+	if json.Unmarshal(buf, &e) != nil ||
+		e.Schema != SchemaVersion ||
+		e.Key != key ||
+		e.Checksum != e.checksum() {
+		s.misses.Add(1)
+		return Result{}, false
+	}
+	s.hits.Add(1)
+	return e.Result, true
+}
+
+// Put stores a result under key, atomically replacing any existing entry.
+func (s *Store) Put(key string, r Result) error {
+	e := entry{Schema: SchemaVersion, Key: key, Result: r}
+	e.Checksum = e.checksum()
+	buf, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		s.writeFailures.Add(1)
+		return fmt.Errorf("simcache: %w", err)
+	}
+	buf = append(buf, '\n')
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		s.writeFailures.Add(1)
+		return fmt.Errorf("simcache: %w", err)
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.writeFailures.Add(1)
+		return fmt.Errorf("simcache: writing %s: write=%v close=%v", key, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		s.writeFailures.Add(1)
+		return fmt.Errorf("simcache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package simcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testResult() Result {
+	return Result{
+		Cycles:        23511,
+		Instructions:  96000,
+		L2Misses:      7927,
+		L2Accesses:    19046,
+		MemAccesses:   7927,
+		DisabledLines: 2,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("gpu=... scheme=killi-1:64 workload=xsbench seed=1")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	want := testResult()
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed a stored entry")
+	}
+	if got != want {
+		t.Fatalf("round trip changed the result: got %+v, want %+v", got, want)
+	}
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits(), s.Misses())
+	}
+}
+
+func TestDistinctDescriptionsDistinctKeys(t *testing.T) {
+	a := Key("scheme=killi-1:64 seed=1")
+	b := Key("scheme=killi-1:64 seed=2")
+	if a == b {
+		t.Fatal("different descriptions produced the same key")
+	}
+	if a != Key("scheme=killi-1:64 seed=1") {
+		t.Fatal("key derivation is not deterministic")
+	}
+}
+
+// entryFile locates the single cache entry file in the store directory.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one entry file, got %v (err %v)", files, err)
+	}
+	return files[0]
+}
+
+func TestCorruptedEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("desc")
+	if err := s.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := entryFile(t, dir)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, corrupt := range map[string]string{
+		"flipped payload": strings.Replace(string(orig), `"cycles": 23511`, `"cycles": 23512`, 1),
+		"truncated":       string(orig[:len(orig)/2]),
+		"not json":        "hello\n",
+		"empty":           "",
+	} {
+		if corrupt == string(orig) {
+			t.Fatalf("%s: corruption did not change the file", name)
+		}
+		if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("%s: corrupted entry served as a hit", name)
+		}
+	}
+
+	// Recomputing (a fresh Put) must repair the entry in place.
+	if err := s.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || got != testResult() {
+		t.Fatalf("repaired entry not served: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestSchemaMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("desc")
+	if err := s.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the entry as a future schema version with a self-consistent
+	// checksum: the in-file schema check alone must reject it.
+	e := entry{Schema: SchemaVersion + 1, Key: key, Result: testResult()}
+	e.Checksum = e.checksum()
+	buf, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryFile(t, dir), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("schema-mismatched entry served as a hit")
+	}
+}
+
+func TestWrongKeyInFileIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, keyB := Key("a"), Key("b")
+	if err := s.Put(keyA, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// A file renamed onto another key's path (e.g. a botched manual copy)
+	// self-identifies through its embedded key and is rejected.
+	if err := os.Rename(filepath.Join(dir, keyA+".json"), filepath.Join(dir, keyB+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyB); ok {
+		t.Fatal("entry with mismatched embedded key served as a hit")
+	}
+}
+
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(Key(string(rune('a'+i))), testResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "put-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestOpenCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key("x"), testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Key("x")); !ok {
+		t.Fatal("store under created directory not usable")
+	}
+}

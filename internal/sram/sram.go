@@ -26,16 +26,19 @@ import (
 )
 
 // Array is a low-voltage SRAM data array of fixed-size 64-byte lines.
-// Construct with New.
+// Construct with New or NewResolved.
 type Array struct {
 	lines   []bitvec.Line
 	faults  *faultmodel.Map
 	voltage float64
-	// active caches the active fault list per line at the current
-	// voltage; rebuilt on SetVoltage.
-	active [][]faultmodel.Fault
+	// active is the voltage-pre-resolved view of the fault map: per-line
+	// active fault sets in one packed buffer, possibly shared read-only
+	// with other Arrays built over the same map (NewResolved). Rebuilt on
+	// SetVoltage; never mutated.
+	active *faultmodel.Resolved
 	// injected holds lifetime (aging) faults added after construction;
-	// they are active at every voltage and survive voltage changes.
+	// they are active at every voltage and survive voltage changes. Kept
+	// apart from the (shared) resolved view.
 	injected [][]faultmodel.Fault
 }
 
@@ -43,19 +46,30 @@ type Array struct {
 // initially operating at voltage vNorm. The fault map must cover at least n
 // lines of 512 bits.
 func New(n int, faults *faultmodel.Map, vNorm float64) *Array {
+	return NewResolved(n, faults, faults.Resolve(vNorm))
+}
+
+// NewResolved returns an array of n lines over a fault map whose active
+// set was already resolved at the operating voltage — the resolved view is
+// shared read-only, so building many arrays over one map (a scheme sweep)
+// resolves the map once instead of once per array. The view must come from
+// the same map.
+func NewResolved(n int, faults *faultmodel.Map, resolved *faultmodel.Resolved) *Array {
 	if faults.Lines() < n {
 		panic(fmt.Sprintf("sram: fault map covers %d lines, need %d", faults.Lines(), n))
 	}
 	if faults.BitsPerLine() != bitvec.LineBits {
 		panic("sram: fault map is not 512 bits per line")
 	}
-	a := &Array{
+	if resolved.Lines() < n {
+		panic(fmt.Sprintf("sram: resolved view covers %d lines, need %d", resolved.Lines(), n))
+	}
+	return &Array{
 		lines:   make([]bitvec.Line, n),
 		faults:  faults,
-		voltage: vNorm,
+		voltage: resolved.Voltage(),
+		active:  resolved,
 	}
-	a.rebuildActive()
-	return a
 }
 
 // Lines returns the number of lines in the array.
@@ -66,20 +80,12 @@ func (a *Array) Voltage() float64 { return a.voltage }
 
 // SetVoltage changes the operating voltage, recomputing which persistent
 // faults are active. Stored data is preserved (the true payloads; whether
-// they read back correctly depends on the new fault set).
+// they read back correctly depends on the new fault set). The array's
+// previous resolved view is replaced, never mutated, so views shared with
+// other arrays are unaffected.
 func (a *Array) SetVoltage(vNorm float64) {
 	a.voltage = vNorm
-	a.rebuildActive()
-}
-
-func (a *Array) rebuildActive() {
-	a.active = make([][]faultmodel.Fault, len(a.lines))
-	for i := range a.lines {
-		a.active[i] = a.faults.ActiveFaults(i, a.voltage)
-		if a.injected != nil {
-			a.active[i] = append(a.active[i], a.injected[i]...)
-		}
-	}
+	a.active = a.faults.Resolve(vNorm)
 }
 
 // Write stores data into line i. The true payload is retained; corruption
@@ -90,11 +96,17 @@ func (a *Array) Write(i int, data bitvec.Line) {
 }
 
 // Read returns the line as the failing cells present it: every active
-// stuck-at fault overrides its bit.
+// stuck-at fault overrides its bit. Lifetime (injected) faults apply after
+// the voltage-dependent population, matching their injection order.
 func (a *Array) Read(i int) bitvec.Line {
 	out := a.lines[i]
-	for _, f := range a.active[i] {
+	for _, f := range a.active.LineFaults(i) {
 		out.SetBit(f.Bit, f.StuckAt)
+	}
+	if a.injected != nil {
+		for _, f := range a.injected[i] {
+			out.SetBit(f.Bit, f.StuckAt)
+		}
 	}
 	return out
 }
@@ -106,16 +118,29 @@ func (a *Array) ReadTrue(i int) bitvec.Line { return a.lines[i] }
 
 // ActiveFaultCount returns the number of active persistent faults in
 // line i at the current voltage.
-func (a *Array) ActiveFaultCount(i int) int { return len(a.active[i]) }
+func (a *Array) ActiveFaultCount(i int) int {
+	n := a.active.LineCount(i)
+	if a.injected != nil {
+		n += len(a.injected[i])
+	}
+	return n
+}
 
 // UnmaskedFaultCount returns the number of active faults in line i whose
 // stuck value currently differs from the stored data — the faults that are
 // observable right now.
 func (a *Array) UnmaskedFaultCount(i int) int {
 	n := 0
-	for _, f := range a.active[i] {
+	for _, f := range a.active.LineFaults(i) {
 		if a.lines[i].Bit(f.Bit) != f.StuckAt {
 			n++
+		}
+	}
+	if a.injected != nil {
+		for _, f := range a.injected[i] {
+			if a.lines[i].Bit(f.Bit) != f.StuckAt {
+				n++
+			}
 		}
 	}
 	return n
@@ -137,7 +162,5 @@ func (a *Array) InjectPersistentFault(i, bit int, stuckAt uint) {
 	if a.injected == nil {
 		a.injected = make([][]faultmodel.Fault, len(a.lines))
 	}
-	f := faultmodel.Fault{Bit: bit, StuckAt: stuckAt & 1}
-	a.injected[i] = append(a.injected[i], f)
-	a.active[i] = append(a.active[i], f)
+	a.injected[i] = append(a.injected[i], faultmodel.Fault{Bit: bit, StuckAt: stuckAt & 1})
 }

@@ -54,13 +54,21 @@ type Workload struct {
 	Class Class
 	// Description summarizes the modeled access pattern.
 	Description string
-	gen         func(cu, n int, r *xrand.Rand) []Request
+	// gen appends exactly n requests for one CU to out and returns the
+	// grown slice. Generators never outgrow a capacity of n beyond
+	// len(out), so callers may hand in a sub-capacity view of a larger
+	// packed buffer and generation happens in place.
+	gen func(cu, n int, r *xrand.Rand, out []Request) []Request
+}
+
+// rand returns the deterministic per-CU generator Trace and TraceSet share.
+func (w Workload) rand(cu int, seed uint64) *xrand.Rand {
+	return xrand.New(seed ^ uint64(cu)*0x9e3779b97f4a7c15 ^ hashName(w.Name))
 }
 
 // Trace generates n requests for one CU, deterministically from seed.
 func (w Workload) Trace(cu, n int, seed uint64) []Request {
-	r := xrand.New(seed ^ uint64(cu)*0x9e3779b97f4a7c15 ^ hashName(w.Name))
-	return w.gen(cu, n, r)
+	return w.gen(cu, n, w.rand(cu, seed), make([]Request, 0, n))
 }
 
 // Traces generates per-CU traces for a whole GPU.
@@ -71,6 +79,50 @@ func (w Workload) Traces(cus, nPerCU int, seed uint64) [][]Request {
 	}
 	return out
 }
+
+// TraceSet is the packed multi-kernel trace storage for one workload: every
+// kernel's per-CU requests live in one flat contiguous buffer with
+// per-(kernel, CU) views sliced into it. Compared with nested
+// [][][]Request storage this is two long-lived allocations instead of
+// kernels × CUs, and the replay loop walks sequential memory. A TraceSet is
+// immutable after construction and shared read-only by every scheme task of
+// a sweep workload.
+type TraceSet struct {
+	reqs  []Request
+	views [][][]Request // kernel → CU → view into reqs
+}
+
+// TraceSet generates one kernel per seed (element k of seeds drives kernel
+// k) for a whole GPU, bit-identical to calling Traces per seed.
+func (w Workload) TraceSet(cus, nPerCU int, seeds []uint64) *TraceSet {
+	t := &TraceSet{
+		reqs:  make([]Request, 0, len(seeds)*cus*nPerCU),
+		views: make([][][]Request, len(seeds)),
+	}
+	for k, seed := range seeds {
+		t.views[k] = make([][]Request, cus)
+		for cu := 0; cu < cus; cu++ {
+			start := len(t.reqs)
+			sub := w.gen(cu, nPerCU, w.rand(cu, seed), t.reqs[start:start:start+nPerCU])
+			if len(sub) > nPerCU {
+				panic("workload: generator outgrew its trace window")
+			}
+			t.reqs = t.reqs[:start+len(sub)]
+			t.views[k][cu] = t.reqs[start : start+len(sub) : start+len(sub)]
+		}
+	}
+	return t
+}
+
+// Kernels returns the number of kernels in the set.
+func (t *TraceSet) Kernels() int { return len(t.views) }
+
+// Kernel returns kernel k's per-CU traces, aliasing the packed buffer; the
+// result must not be modified.
+func (t *TraceSet) Kernel(k int) [][]Request { return t.views[k] }
+
+// Requests returns the total request count across all kernels and CUs.
+func (t *TraceSet) Requests() int { return len(t.reqs) }
 
 func hashName(s string) uint64 {
 	var h uint64 = 14695981039346656037
@@ -125,8 +177,7 @@ func xsbench() Workload {
 		Name:        "xsbench",
 		Class:       MemoryBound,
 		Description: "random lookups over a hot 256 KB index + 3 MB unionized grid (1.5× the L2)",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			for len(out) < n {
 				// Each lookup walks the hot index, then probes two energy
 				// points in the unionized grid. The grid is all live data
@@ -158,8 +209,7 @@ func fft() Workload {
 		Name:        "fft",
 		Class:       MemoryBound,
 		Description: "butterfly updates over a live 3 MB signal + hot 256 KB twiddle table",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			sigLines := signalBytes / lineBytes
 			const twLines = twBytes / lineBytes
 			for len(out) < n {
@@ -187,7 +237,7 @@ func hpgmg() Workload {
 		Name:        "hpgmg",
 		Class:       MemoryBound,
 		Description: "streaming sweeps across 32/16/8 MB multigrid levels",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			levels := []struct {
 				base  uint64
 				bytes uint64
@@ -202,7 +252,6 @@ func hpgmg() Workload {
 			for i, lv := range levels {
 				starts[i] = uint64(r.Intn(int(lv.bytes / lineBytes)))
 			}
-			out := make([]Request, 0, n)
 			level, i := 0, uint64(0)
 			for len(out) < n {
 				lv := levels[level]
@@ -231,8 +280,7 @@ func pennant() Workload {
 		Name:        "pennant",
 		Class:       MemoryBound,
 		Description: "sequential index stream gathering randomly from a 16 MB mesh",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			// Each kernel walks its own slice of the index stream.
 			idxPos := uint64(r.Intn(int(idxBytes / lineBytes)))
 			for len(out) < n {
@@ -259,8 +307,7 @@ func lulesh() Workload {
 		Name:        "lulesh",
 		Class:       ComputeBound,
 		Description: "27-point stencil over a 3 MB mesh with neighbor reuse",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			lines := uint64(meshBytes / lineBytes)
 			pos := uint64(cu) * (lines / 8)
 			for len(out) < n {
@@ -292,8 +339,7 @@ func comd() Workload {
 		Name:        "comd",
 		Class:       ComputeBound,
 		Description: "cell-list force loops over a 1.5 MB particle region",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			lines := cellBytes / lineBytes
 			for len(out) < n {
 				cell := r.Intn(lines - 8)
@@ -320,8 +366,7 @@ func snap() Workload {
 		Name:        "snap",
 		Class:       ComputeBound,
 		Description: "wavefront sweeps over a 2 MB angular-flux array",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			lines := uint64(fluxBytes / lineBytes)
 			pos := uint64(cu) * (lines / 8)
 			for len(out) < n {
@@ -348,8 +393,7 @@ func miniamr() Workload {
 		Name:        "miniamr",
 		Class:       ComputeBound,
 		Description: "repeated passes over 256 KB AMR blocks before moving on",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			lines := uint64(blockBytes / lineBytes)
 			for len(out) < n {
 				block := uint64(r.Intn(blocks))
@@ -373,8 +417,7 @@ func nekbone() Workload {
 		Name:        "nekbone",
 		Class:       ComputeBound,
 		Description: "dense small-matrix kernels over a 512 KB hot set",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			lines := matBytes / lineBytes
 			for len(out) < n {
 				out = append(out, Request{
@@ -396,8 +439,7 @@ func quicksilver() Workload {
 		Name:        "quicksilver",
 		Class:       ComputeBound,
 		Description: "90% hits in a 1 MB table, 10% random 8 MB excursions",
-		gen: func(cu, n int, r *xrand.Rand) []Request {
-			out := make([]Request, 0, n)
+		gen: func(cu, n int, r *xrand.Rand, out []Request) []Request {
 			for len(out) < n {
 				var addr uint64
 				if r.Intn(10) == 0 {
