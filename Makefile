@@ -1,17 +1,21 @@
 # Tier-1 verification: what CI runs and what every PR must keep green.
 #
-#   make tier1     vet + build + race-enabled tests + the short shape test
+#   make tier1     vet + build + race-enabled tests + short shape test + doccheck
 #   make shape     the full Figure 4/5 shape-regression suite (slower)
 #   make bench     core benchmarks (-benchmem) + refresh BENCH_core.json
 
 GO ?= go
 
-.PHONY: tier1 vet build test shape shape-full bench bench-enforce
+.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries
 
-tier1: vet build test shape
+tier1: vet build test shape doccheck
 
 vet:
 	$(GO) vet ./...
+
+# Every package must carry a package-level doc comment; see tools/doccheck.
+doccheck:
+	$(GO) run ./tools/doccheck
 
 build:
 	$(GO) build ./...
@@ -41,3 +45,15 @@ bench:
 
 bench-enforce:
 	$(GO) run ./cmd/killi-bench -o BENCH_core.json -enforce
+
+# DFH training-dynamics time series for one memory-bound and one
+# compute-bound workload (the EXPERIMENTS.md "Training dynamics" data; CI
+# uploads timeseries/ as a workflow artifact).
+timeseries:
+	mkdir -p timeseries
+	$(GO) run ./cmd/killi-sim -timeseries timeseries/xsbench.jsonl \
+		-trace-events timeseries/xsbench-trace.json \
+		-obs-workload xsbench -obs-scheme killi-1:64 -requests 4000 -warmup 0
+	$(GO) run ./cmd/killi-sim -timeseries timeseries/nekbone.jsonl \
+		-trace-events timeseries/nekbone-trace.json \
+		-obs-workload nekbone -obs-scheme killi-1:64 -requests 4000 -warmup 0

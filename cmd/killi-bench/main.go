@@ -19,8 +19,8 @@
 //
 // With -enforce, the run exits nonzero when the fresh measurement regresses
 // more than 15% against the existing file's baseline entry on ns_per_event
-// or sweep_seconds — this is how CI turns the committed baseline into a
-// gate instead of an artifact.
+// or sweep_seconds, or when allocs_per_event is nonzero — this is how CI
+// turns the committed baseline into a gate instead of an artifact.
 package main
 
 import (
@@ -107,10 +107,13 @@ func benchSweep(cacheDir string) (float64, error) {
 }
 
 // enforce compares a fresh measurement against the committed baseline and
-// returns the violations (empty = within budget). Only the two throughput
-// metrics gate: allocs are pinned exactly by tests, and the cold/warm cache
-// numbers track sweep_seconds plus I/O that CI runners make too noisy to
-// bound tightly.
+// returns the violations (empty = within budget). The two throughput
+// metrics gate at 15%; allocs_per_event gates absolutely at zero — the
+// historical baseline entry predates the allocation-free rewrite, and any
+// nonzero measurement today means a hot path grew an allocation (e.g. an
+// instrumentation hook escaping its nil-observer guard). The cold/warm
+// cache numbers track sweep_seconds plus
+// I/O that CI runners make too noisy to bound tightly.
 func enforce(baseline, cur point) []string {
 	const maxRegress = 1.15
 	var bad []string
@@ -122,12 +125,16 @@ func enforce(baseline, cur point) []string {
 		bad = append(bad, fmt.Sprintf("sweep_seconds %.3f exceeds baseline %.3f by more than 15%%",
 			cur.SweepSeconds, baseline.SweepSeconds))
 	}
+	if cur.AllocsPerEvent > 0 {
+		bad = append(bad, fmt.Sprintf("allocs_per_event %.2f, want 0 (steady state must stay allocation-free)",
+			cur.AllocsPerEvent))
+	}
 	return bad
 }
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file for the benchmark report")
-	gate := flag.Bool("enforce", false, "exit nonzero when ns_per_event or sweep_seconds regresses >15% against the file's baseline entry")
+	gate := flag.Bool("enforce", false, "exit nonzero when ns_per_event or sweep_seconds regresses >15% against the file's baseline entry, or when allocs_per_event is nonzero")
 	flag.Parse()
 
 	ns, allocs := benchEngine()

@@ -12,6 +12,16 @@
 // -cache <dir> keeps a content-addressed result cache across invocations,
 // so re-running a figure with unchanged inputs is a disk read per task;
 // cached rows are bit-identical to recomputed ones.
+//
+// Observability: -timeseries out.jsonl and/or -trace-events out.json switch
+// killi-sim into a single observed run (workload and scheme from
+// -obs-workload / -obs-scheme) that records DFH training dynamics — state
+// populations per epoch, every classification transition, ECC-cache
+// pressure, interval L2 MPKI — as JSONL and/or Chrome trace_event JSON
+// (load at https://ui.perfetto.dev), prints the run summary plus an ASCII
+// training curve, and exits. -epoch sets the sampling epoch in cycles.
+// -metrics-addr serves live sweep progress over HTTP (expvar JSON at
+// /metrics) for watching long sweeps.
 package main
 
 import (
@@ -22,6 +32,8 @@ import (
 	"runtime/pprof"
 
 	"killi/internal/experiments"
+	"killi/internal/gpu"
+	"killi/internal/obs"
 	"killi/internal/workload"
 )
 
@@ -36,7 +48,22 @@ func main() {
 	cacheDir := flag.String("cache", "", "directory for the content-addressed result cache (empty = recompute everything); cached rows are bit-identical")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+	timeseries := flag.String("timeseries", "", "record one observed run's time series to this JSONL file (see -obs-workload/-obs-scheme) and exit")
+	traceEvents := flag.String("trace-events", "", "record one observed run as Chrome trace_event JSON to this file and exit")
+	epoch := flag.Uint64("epoch", gpu.DefaultEpochCycles, "observation epoch length in cycles")
+	obsWorkload := flag.String("obs-workload", "xsbench", "workload for the observed run")
+	obsScheme := flag.String("obs-scheme", "killi-1:64", "protection scheme for the observed run: "+experiments.SchemeSyntax())
+	metricsAddr := flag.String("metrics-addr", "", "serve live sweep progress over HTTP on this address (e.g. localhost:8060; expvar JSON at /metrics)")
 	flag.Parse()
+
+	if *timeseries != "" || *traceEvents != "" {
+		if err := observedRun(*timeseries, *traceEvents, *obsWorkload, *obsScheme,
+			*voltage, *requests, *seed, *warmup, *epoch); err != nil {
+			fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *fig {
 	case 4, 5, 45:
@@ -85,6 +112,16 @@ func main() {
 		CacheDir:      *cacheDir,
 	}
 	cfg.Workloads = experiments.SplitList(*workloads)
+	if *metricsAddr != "" {
+		m := obs.NewMetrics()
+		addr, err := m.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "killi-sim: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "killi-sim: serving sweep progress at http://%s/metrics\n", addr)
+		cfg.Progress = m.TaskDone
+	}
 	rows, err := experiments.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
@@ -100,6 +137,63 @@ func main() {
 		fmt.Println()
 		printFig5(rows, *voltage)
 	}
+}
+
+// observedRun simulates one workload × scheme pair with a Collector
+// attached and writes the requested exports, then prints the run summary
+// and the DFH training curve.
+func observedRun(tsPath, tePath, workloadName, schemeName string,
+	voltage float64, requests int, seed uint64, warmup int, epoch uint64) error {
+	scheme, err := experiments.SchemeByName(schemeName)
+	if err != nil {
+		return err
+	}
+	col := obs.NewCollector()
+	cfg := experiments.Config{
+		Voltage:       voltage,
+		RequestsPerCU: requests,
+		Seed:          seed,
+		WarmupKernels: warmup,
+	}
+	res, err := experiments.RunOneObserved(cfg, workloadName, scheme, voltage, col, epoch)
+	if err != nil {
+		return err
+	}
+	write := func(path string, render func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tsPath != "" {
+		if err := write(tsPath, func(f *os.File) error { return col.WriteJSONL(f) }); err != nil {
+			return fmt.Errorf("-timeseries: %w", err)
+		}
+		fmt.Printf("wrote %d resets, %d transitions, %d epochs to %s\n",
+			len(col.Resets()), len(col.Transitions()), len(col.Epochs()), tsPath)
+	}
+	if tePath != "" {
+		if err := write(tePath, func(f *os.File) error { return col.WriteTraceEvents(f) }); err != nil {
+			return fmt.Errorf("-trace-events: %w", err)
+		}
+		fmt.Printf("wrote trace_event JSON to %s (open at https://ui.perfetto.dev)\n", tePath)
+	}
+	fmt.Printf("\n%s × %s @ %.3fxVDD, %d requests/CU, %d warmup kernels, epoch %d cycles\n",
+		workloadName, schemeName, voltage, requests, warmup, epoch)
+	fmt.Printf("cycles %d, instructions %d, L2 MPKI %.2f, disabled lines %d\n",
+		res.Cycles, res.Instructions, res.MPKI(), res.DisabledLines)
+	pop := col.Populations()
+	fmt.Printf("final DFH populations: stable0 %d, initial %d, stable1 %d, disabled %d\n\n",
+		pop[obs.StateStable0], pop[obs.StateInitial], pop[obs.StateStable1], pop[obs.StateDisabled])
+	if curve := col.TrainingCurve(); curve != "" {
+		fmt.Println(curve)
+	}
+	return nil
 }
 
 func header(rows []experiments.Row) []string {

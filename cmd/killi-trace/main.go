@@ -24,7 +24,7 @@ import (
 
 func main() {
 	file := flag.String("file", "", "trace file to replay (required unless -dump)")
-	schemeName := flag.String("scheme", "killi-1:64", "protection scheme (none, secded, dected, flair, msecc, killi-1:N, killi-dected-1:N)")
+	schemeName := flag.String("scheme", "killi-1:64", "protection scheme: "+experiments.SchemeSyntax())
 	voltage := flag.Float64("voltage", 0.625, "L2 operating voltage (x VDD)")
 	seed := flag.Uint64("seed", 1, "fault population seed")
 	dump := flag.String("dump", "", "write the named synthetic workload as a trace to stdout and exit")

@@ -27,12 +27,18 @@ type funcHandler func()
 
 func (f funcHandler) Fire() { f() }
 
-// event is a queue entry: a handler and its (when, seq) total order.
+// event is a queue entry: a handler and its (when, seq) total order. The
+// low bit of seq flags daemon events (see ScheduleDaemonHandler); the
+// remaining bits carry the monotone scheduling sequence, so the packed
+// value preserves FIFO order without widening the struct.
 type event struct {
 	when uint64
 	seq  uint64
 	h    Handler
 }
+
+// daemonBit marks an event that does not keep Run alive.
+const daemonBit = 1
 
 // less orders events by cycle, breaking ties by scheduling sequence so that
 // same-cycle events fire in FIFO order.
@@ -55,6 +61,9 @@ type Engine struct {
 	now    uint64
 	seq    uint64
 	events []event // four-ary heap: children of i at 4i+1..4i+4
+	// live counts queued non-daemon events; Run and RunUntil stop when it
+	// reaches zero even if daemon events (observability tickers) remain.
+	live int
 	// seed is the initial backing array for events, so a fresh Engine
 	// schedules without the append growth ladder (and, when the Engine
 	// itself is stack-allocated, without any heap allocation at all).
@@ -74,11 +83,29 @@ func (e *Engine) Schedule(delay uint64, fn func()) {
 // same-cycle FIFO ordering as Schedule. Reusing handler objects keeps the
 // call allocation-free.
 func (e *Engine) ScheduleHandler(delay uint64, h Handler) {
+	e.push(delay, h, 0)
+}
+
+// ScheduleDaemonHandler queues h like ScheduleHandler but as a daemon
+// event: it fires in its normal (when, seq) position while other events
+// are being drained, yet does not by itself keep Run or RunUntil alive.
+// This is what periodic instrumentation (the gpu package's epoch sampler)
+// uses to tick for as long as the simulation runs without turning Run into
+// an infinite loop. Daemon events left in the queue when Run returns stay
+// queued and resume firing on the next Run call.
+func (e *Engine) ScheduleDaemonHandler(delay uint64, h Handler) {
+	e.push(delay, h, daemonBit)
+}
+
+func (e *Engine) push(delay uint64, h Handler, flag uint64) {
 	if e.events == nil {
 		e.events = e.seed[:0]
 	}
 	e.seq++
-	e.events = append(e.events, event{when: e.now + delay, seq: e.seq, h: h})
+	if flag == 0 {
+		e.live++
+	}
+	e.events = append(e.events, event{when: e.now + delay, seq: e.seq<<1 | flag, h: h})
 	e.siftUp(len(e.events) - 1)
 }
 
@@ -135,11 +162,15 @@ func (e *Engine) siftDown(i int) {
 	e.events[i] = ev
 }
 
-// Pending returns the number of queued events.
+// Pending returns the number of queued events, daemon events included.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Step fires the next event, advancing the clock to its cycle. It returns
-// false when the queue is empty.
+// PendingLive returns the number of queued non-daemon events — the count
+// that keeps Run going.
+func (e *Engine) PendingLive() int { return e.live }
+
+// Step fires the next event (daemon or not), advancing the clock to its
+// cycle. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -152,22 +183,29 @@ func (e *Engine) Step() bool {
 	if n > 0 {
 		e.siftDown(0)
 	}
+	if ev.seq&daemonBit == 0 {
+		e.live--
+	}
 	e.now = ev.when
 	ev.h.Fire()
 	return true
 }
 
-// Run fires events until the queue drains, returning the final cycle.
+// Run fires events until every non-daemon event has drained, returning the
+// final cycle. Daemon events interleave in (when, seq) order while the
+// queue is live; any still queued when the last non-daemon event retires
+// are left for a future Run.
 func (e *Engine) Run() uint64 {
-	for e.Step() {
+	for e.live > 0 {
+		e.Step()
 	}
 	return e.now
 }
 
 // RunUntil fires events up to and including cycle limit, returning true if
-// the queue drained (false means the limit cut the run short).
+// the non-daemon queue drained (false means the limit cut the run short).
 func (e *Engine) RunUntil(limit uint64) bool {
-	for len(e.events) > 0 {
+	for e.live > 0 {
 		if e.events[0].when > limit {
 			return false
 		}

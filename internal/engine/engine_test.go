@@ -114,3 +114,116 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// countHandler is a reusable Handler for daemon tests; reschedule, when
+// non-zero, makes it re-queue itself as a daemon event after each firing.
+type countHandler struct {
+	e          *Engine
+	fired      []uint64
+	reschedule uint64
+}
+
+func (h *countHandler) Fire() {
+	h.fired = append(h.fired, h.e.Now())
+	if h.reschedule != 0 {
+		h.e.ScheduleDaemonHandler(h.reschedule, h)
+	}
+}
+
+func TestDaemonDoesNotKeepRunAlive(t *testing.T) {
+	var e Engine
+	d := &countHandler{e: &e}
+	e.ScheduleDaemonHandler(5, d)
+	if got := e.Run(); got != 0 {
+		t.Fatalf("Run with only a daemon queued advanced to cycle %d, want 0", got)
+	}
+	if len(d.fired) != 0 {
+		t.Fatalf("daemon fired %d times with no live events", len(d.fired))
+	}
+	if e.Pending() != 1 || e.PendingLive() != 0 {
+		t.Fatalf("Pending=%d PendingLive=%d, want 1/0", e.Pending(), e.PendingLive())
+	}
+}
+
+func TestDaemonInterleavesWithLiveEvents(t *testing.T) {
+	var e Engine
+	d := &countHandler{e: &e, reschedule: 10}
+	e.ScheduleDaemonHandler(10, d)
+	e.Schedule(35, func() {})
+	if got := e.Run(); got != 35 {
+		t.Fatalf("final cycle %d, want 35", got)
+	}
+	// Boundaries 10, 20, 30 precede the live event at 35; the tick armed
+	// for 40 stays queued.
+	if len(d.fired) != 3 || d.fired[0] != 10 || d.fired[1] != 20 || d.fired[2] != 30 {
+		t.Fatalf("daemon fired at %v, want [10 20 30]", d.fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("rearmed daemon not left queued: Pending=%d", e.Pending())
+	}
+}
+
+func TestDaemonPersistsAcrossRuns(t *testing.T) {
+	var e Engine
+	d := &countHandler{e: &e, reschedule: 10}
+	e.ScheduleDaemonHandler(10, d)
+	e.Schedule(15, func() {})
+	e.Run()
+	if len(d.fired) != 1 || d.fired[0] != 10 {
+		t.Fatalf("first run: daemon fired at %v, want [10]", d.fired)
+	}
+	// A second Run with fresh live events resumes the same daemon from its
+	// queued position (cycle 20) without rearming.
+	e.Schedule(30, func() {}) // now=15, so fires at 45
+	e.Run()
+	if len(d.fired) != 4 || d.fired[1] != 20 || d.fired[2] != 30 || d.fired[3] != 40 {
+		t.Fatalf("second run: daemon fired at %v, want [10 20 30 40]", d.fired)
+	}
+}
+
+func TestDaemonSameCycleFIFOWithLive(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(5, func() { order = append(order, "live1") })
+	e.ScheduleDaemonHandler(5, funcHandler(func() { order = append(order, "daemon") }))
+	e.Schedule(5, func() { order = append(order, "live2") })
+	e.Run()
+	if len(order) != 3 || order[0] != "live1" || order[1] != "daemon" || order[2] != "live2" {
+		t.Fatalf("same-cycle order %v, want [live1 daemon live2]", order)
+	}
+}
+
+func TestRunUntilStopsOnDaemonOnlyQueue(t *testing.T) {
+	var e Engine
+	d := &countHandler{e: &e, reschedule: 10}
+	e.ScheduleDaemonHandler(10, d)
+	e.Schedule(25, func() {})
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil(100) did not drain the live queue")
+	}
+	if e.Now() != 25 {
+		t.Fatalf("stopped at cycle %d, want 25", e.Now())
+	}
+}
+
+// TestScheduleHandlerSteadyStateAllocFree pins the zero-allocation property
+// the simulator's hot path depends on: once the queue's backing array has
+// grown, scheduling reused handlers (daemon or not) and draining them
+// allocates nothing.
+func TestScheduleHandlerSteadyStateAllocFree(t *testing.T) {
+	var e Engine
+	live := &countHandler{e: &e}
+	daemon := &countHandler{e: &e}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			e.ScheduleHandler(uint64(i%3), live)
+		}
+		e.ScheduleDaemonHandler(1, daemon)
+		e.Run()
+		live.fired = live.fired[:0]
+		daemon.fired = daemon.fired[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/run allocated %.1f times per iteration", allocs)
+	}
+}

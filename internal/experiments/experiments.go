@@ -20,9 +20,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"killi/internal/gpu"
 	"killi/internal/killi"
+	"killi/internal/obs"
 	"killi/internal/protection"
 	"killi/internal/simcache"
 	"killi/internal/workload"
@@ -120,6 +122,26 @@ func parseRatio(s string) (int, error) {
 	return n, nil
 }
 
+// SchemeSyntax is the single source of truth for the scheme-name grammar
+// accepted by SchemeByName. CLI -scheme flag help and README documentation
+// must quote it verbatim (pinned by TestSchemeSyntaxSingleSource) instead of
+// restating the forms by hand, so the documented grammar can never drift
+// from the parser.
+func SchemeSyntax() string {
+	return "none | secded | dected | flair | msecc | killi-1:<ratio> | " +
+		"killi-dected-1:<ratio> | killi-olsc<strength>-1:<ratio>"
+}
+
+// SchemeExamples returns one concrete, parseable name per scheme form in
+// SchemeSyntax. Tests feed every example through SchemeByName so the
+// documented forms are guaranteed to construct.
+func SchemeExamples() []string {
+	return []string{
+		"none", "secded", "dected", "flair", "msecc",
+		"killi-1:64", "killi-dected-1:64", "killi-olsc2-1:64",
+	}
+}
+
 // SplitList splits a comma-separated CLI list, trimming whitespace around
 // every entry and dropping empty ones, so "fft, xsbench" and "fft,,xsbench,"
 // both mean {fft, xsbench}.
@@ -168,6 +190,13 @@ type Config struct {
 	// recomputed ones; corrupted or stale entries are recomputed. Cached
 	// results carry no debug Counters.
 	CacheDir string
+	// Progress, when non-nil, is called once per completed sweep task with
+	// the cumulative completed count and the total task count. With
+	// Parallelism > 1 it is called from worker goroutines (the counts stay
+	// consistent; call order across workers is not deterministic), so the
+	// callback must be safe for concurrent use. It feeds killi-sim's
+	// -metrics-addr live-progress endpoint and never affects results.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -350,6 +379,7 @@ func Run(cfg Config) ([]Row, error) {
 		}
 	}
 
+	var tasksDone atomic.Int64
 	runTask := func(t task) gpu.Result {
 		g := base
 		var scheme protection.Scheme
@@ -366,11 +396,17 @@ func Run(cfg Config) ([]Row, error) {
 			schemeName = specs[t.scheme].Name
 			faults = faultsLV
 		}
+		done := func(res gpu.Result) gpu.Result {
+			if cfg.Progress != nil {
+				cfg.Progress(int(tasksDone.Add(1)), len(tasks))
+			}
+			return res
+		}
 		var key string
 		if store != nil {
 			key = simcache.Key(taskDesc(cfg, g, schemeName, loads[t.workload].Name))
 			if c, ok := store.Get(key); ok {
-				return cachedResult(c)
+				return done(cachedResult(c))
 			}
 		}
 		res := runKernels(gpu.NewShared(g, scheme, faults), traces[t.workload])
@@ -379,7 +415,7 @@ func Run(cfg Config) ([]Row, error) {
 			// not fail the sweep; Store.WriteFailures keeps it observable.
 			_ = store.Put(key, cacheable(res))
 		}
-		return res
+		return done(res)
 	}
 
 	results := make([]gpu.Result, len(tasks))
@@ -446,4 +482,24 @@ func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage f
 	g.Voltage = voltage
 	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
 	return runKernels(gpu.New(g, scheme), traces), nil
+}
+
+// RunOneObserved is RunOne with an observability sink attached before the
+// first kernel: o receives the initial DFH reset, every classification
+// transition, and an epoch Sample every epochCycles cycles (0 means
+// gpu.DefaultEpochCycles). The simulated machine is bit-identical to the
+// unobserved RunOne — sampling only reads state — so the returned Result
+// matches RunOne exactly (pinned by TestGoldenCounterDigestObserved).
+func RunOneObserved(cfg Config, workloadName string, scheme protection.Scheme, voltage float64, o obs.Observer, epochCycles uint64) (gpu.Result, error) {
+	cfg = cfg.withDefaults()
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	g := cfg.baseGPU()
+	g.Voltage = voltage
+	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
+	sys := gpu.New(g, scheme)
+	sys.SetObserver(o, epochCycles)
+	return runKernels(sys, traces), nil
 }

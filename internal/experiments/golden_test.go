@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"killi/internal/killi"
+	"killi/internal/obs"
 )
 
 // TestGoldenCounterDigest hashes every counter name and value after a short
@@ -36,5 +37,66 @@ func TestGoldenCounterDigest(t *testing.T) {
 		t.Fatalf("result fields diverged from golden: cycles=%d instrs=%d l2miss=%d l2acc=%d mem=%d disabled=%d",
 			res.Cycles, res.Instructions, res.L2Misses, res.L2Accesses,
 			res.MemAccesses, res.DisabledLines)
+	}
+}
+
+// TestGoldenCounterDigestObserved repeats the golden run with a Collector
+// attached and demands the identical digest and Result fields: attaching an
+// observer must never perturb the simulated machine (sampling only reads
+// state; daemon ticker events never affect non-daemon ordering). It then
+// sanity-checks what the collector saw.
+func TestGoldenCounterDigestObserved(t *testing.T) {
+	col := obs.NewCollector()
+	res, err := RunOneObserved(Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
+		killi.New(killi.Config{Ratio: 64}), 0.625, col, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, n := range res.Counters.Names() {
+		fmt.Fprintf(h, "%s=%d\n", n, res.Counters.Get(n))
+	}
+	const want = uint64(0xb727c485a3e75a1b)
+	if got := h.Sum64(); got != want {
+		t.Fatalf("observed-run counter digest = %#x, want %#x (observation perturbed the simulation)", got, want)
+	}
+	if res.Cycles != 23511 || res.DisabledLines != 2 {
+		t.Fatalf("observed-run result diverged: cycles=%d disabled=%d", res.Cycles, res.DisabledLines)
+	}
+
+	// The collector's view must agree with the simulator's own statistics.
+	if len(col.Resets()) == 0 {
+		t.Fatal("collector recorded no DFH reset")
+	}
+	if got := col.Populations()[obs.StateDisabled]; got != res.DisabledLines {
+		t.Fatalf("collector disabled population %d, want %d", got, res.DisabledLines)
+	}
+	eps := col.Epochs()
+	if len(eps) == 0 {
+		t.Fatal("collector recorded no epochs")
+	}
+	var accs, instrs uint64
+	lastCycle := uint64(0)
+	for i, e := range eps {
+		if e.Cycle < lastCycle {
+			t.Fatalf("epoch %d cycle %d precedes previous %d", i, e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+		accs += e.L2Accesses
+		instrs += e.Instructions
+		if sum := e.DFH[0] + e.DFH[1] + e.DFH[2] + e.DFH[3]; sum != col.Lines() {
+			t.Fatalf("epoch %d DFH populations sum to %d, want %d lines", i, sum, col.Lines())
+		}
+	}
+	// Epoch deltas must tile the run exactly: summed L2 accesses and
+	// instructions equal the run totals (final partial epoch included).
+	if accs != res.L2Accesses {
+		t.Fatalf("summed epoch L2 accesses %d, want %d", accs, res.L2Accesses)
+	}
+	if instrs != res.Instructions {
+		t.Fatalf("summed epoch instructions %d, want %d", instrs, res.Instructions)
+	}
+	if last := eps[len(eps)-1]; last.Cycle != res.Cycles {
+		t.Fatalf("final flush sampled at cycle %d, want run end %d", last.Cycle, res.Cycles)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"killi/internal/engine"
 	"killi/internal/faultmodel"
 	"killi/internal/mem"
+	"killi/internal/obs"
 	"killi/internal/protection"
 	"killi/internal/sram"
 	"killi/internal/stats"
@@ -173,6 +174,17 @@ type System struct {
 
 	eventPool  []*gpuEvent
 	wayScratch []int // victim candidates, sized to L2Ways
+
+	// instrsIssued accumulates instructions across all CUs and Runs, so
+	// the epoch sampler can report interval deltas without summing cus.
+	instrsIssued uint64
+
+	// observer is the attached observability sink (nil = off, the
+	// default; see SetObserver in obs.go). obsTicker is the daemon epoch
+	// sampler, created lazily on the first observed Run.
+	observer  obs.Observer
+	obsEpoch  uint64
+	obsTicker *obsTicker
 }
 
 type cuState struct {
@@ -483,12 +495,18 @@ func (s *System) Run(traces [][]workload.Request) Result {
 	startCycle := s.eng.Now()
 	snap := s.ctr.Snapshot()
 	startMem := s.memory.Accesses()
+	if s.observer != nil {
+		s.startObserver()
+	}
 	s.cus = make([]*cuState, s.cfg.CUs)
 	for i := range s.cus {
 		s.cus[i] = &cuState{id: i, trace: traces[i]}
 		s.issueMore(s.cus[i])
 	}
 	cycles := s.eng.Run()
+	if s.observer != nil {
+		s.flushObserver()
+	}
 	res := Result{
 		Cycles:      cycles - startCycle,
 		L2Misses:    s.ctr.Since(snap, "l2.read_misses") + s.ctr.Since(snap, "l2.error_misses"),
@@ -522,6 +540,7 @@ func (s *System) issueMore(cu *cuState) {
 		cu.started = true
 		cu.lastIssue = issueAt
 		cu.instrs += uint64(req.Instrs)
+		s.instrsIssued += uint64(req.Instrs)
 		s.schedule(issueAt-s.eng.Now(), evAccess, cu, req.Addr, req.Write)
 	}
 }

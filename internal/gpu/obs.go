@@ -1,0 +1,145 @@
+package gpu
+
+import (
+	"killi/internal/obs"
+	"killi/internal/stats"
+)
+
+// ECC-cache activity counters interned by name. They are owned (and
+// incremented) by the killi package; gpu cannot import killi without a
+// cycle, but the stats registry is name-keyed and process-wide, so
+// interning the same names here yields the same handles. Schemes without
+// an ECC cache simply never touch them and the epoch sampler reads zeros.
+var (
+	cObsECCAccesses   = stats.Intern("killi.ecc_accesses")
+	cObsECCContention = stats.Intern("killi.ecc_contention_evictions")
+)
+
+// DefaultEpochCycles is the epoch length SetObserver falls back to: fine
+// enough to resolve DFH training (tens of samples over a short kernel),
+// coarse enough that sampling cost is invisible next to simulation.
+const DefaultEpochCycles = 4096
+
+// eccProber is the optional scheme interface the epoch sampler probes for
+// ECC-cache occupancy. killi.Scheme implements it; baselines do not.
+type eccProber interface {
+	ECCOccupancy() int
+	ECCEntries() int
+}
+
+// Now implements protection.Host: the current simulation cycle.
+func (s *System) Now() uint64 { return s.eng.Now() }
+
+// Observer implements protection.Host: the attached observability sink,
+// nil when observability is off.
+func (s *System) Observer() obs.Observer { return s.observer }
+
+// SetObserver attaches an observability sink and an epoch length in cycles
+// (0 means DefaultEpochCycles). Call it after New and before the first
+// Run; the observer immediately receives a Reset describing the current
+// state (every line Initial — exactly what the scheme's construction-time
+// DFH reset left behind), and from then on an epoch Sample at every epoch
+// boundary plus classification transitions as the scheme reports them.
+//
+// With o == nil (the default) the simulation schedules no sampling events
+// and emits nothing: the hot path is unchanged, allocation-free, and
+// bit-identical — pinned by the golden-digest tests. With an observer
+// attached the simulated machine still behaves identically (sampling only
+// reads state); only the wall-clock cost changes.
+func (s *System) SetObserver(o obs.Observer, epochCycles uint64) {
+	s.observer = o
+	if epochCycles == 0 {
+		epochCycles = DefaultEpochCycles
+	}
+	s.obsEpoch = epochCycles
+	s.obsTicker = nil
+	if o == nil {
+		return
+	}
+	o.OnReset(obs.Reset{
+		Cycle:   s.eng.Now(),
+		Voltage: s.cfg.Voltage,
+		Lines:   s.l2tags.Config().Lines(),
+	})
+}
+
+// obsTicker is the self-rescheduling daemon event that samples one epoch.
+// It keeps the previous cumulative counter values so each Sample carries
+// interval deltas.
+type obsTicker struct {
+	s         *System
+	every     uint64
+	lastCycle uint64 // cycle of the last emitted sample
+
+	// cumulative values at the last sample
+	lastAcc, lastReadMiss, lastErrMiss uint64
+	lastStall, lastInstr               uint64
+	lastECCAcc, lastECCEvict           uint64
+}
+
+// startObserver lazily creates and arms the epoch ticker on the first Run
+// after SetObserver. Re-arming across Runs is unnecessary: the daemon
+// event persists in the engine queue between kernels.
+func (s *System) startObserver() {
+	if s.obsTicker != nil {
+		return
+	}
+	s.obsTicker = &obsTicker{s: s, every: s.obsEpoch, lastCycle: s.eng.Now()}
+	s.obsTicker.arm()
+}
+
+// arm schedules the ticker at the next epoch boundary strictly after now.
+func (t *obsTicker) arm() {
+	now := t.s.eng.Now()
+	next := now - now%t.every + t.every
+	t.s.eng.ScheduleDaemonHandler(next-now, t)
+}
+
+// Fire implements engine.Handler: sample the closing epoch, re-arm.
+func (t *obsTicker) Fire() {
+	t.sample()
+	t.arm()
+}
+
+// sample emits one obs.Sample with deltas since the previous sample. It is
+// also called once at the end of every Run to flush the final partial
+// epoch (skipped when no cycles elapsed since the last boundary).
+func (t *obsTicker) sample() {
+	s := t.s
+	now := s.eng.Now()
+	acc := s.ctr.GetC(cL2Accesses)
+	readMiss := s.ctr.GetC(cReadMisses)
+	errMiss := s.ctr.GetC(cErrorMisses)
+	stall := s.ctr.GetC(cTransitionStall)
+	eccAcc := s.ctr.GetC(cObsECCAccesses)
+	eccEvict := s.ctr.GetC(cObsECCContention)
+	smp := obs.Sample{
+		Epoch:                  obs.EpochIndex(now, t.every),
+		Cycle:                  now,
+		L2Accesses:             acc - t.lastAcc,
+		L2Misses:               (readMiss + errMiss) - (t.lastReadMiss + t.lastErrMiss),
+		ErrorMisses:            errMiss - t.lastErrMiss,
+		Instructions:           s.instrsIssued - t.lastInstr,
+		StallCycles:            stall - t.lastStall,
+		DisabledLines:          s.l2tags.DisabledLines(),
+		ECCAccesses:            eccAcc - t.lastECCAcc,
+		ECCContentionEvictions: eccEvict - t.lastECCEvict,
+	}
+	if p, ok := s.scheme.(eccProber); ok {
+		smp.ECCOccupancy = p.ECCOccupancy()
+		smp.ECCEntries = p.ECCEntries()
+	}
+	t.lastCycle = now
+	t.lastAcc, t.lastReadMiss, t.lastErrMiss = acc, readMiss, errMiss
+	t.lastStall, t.lastInstr = stall, s.instrsIssued
+	t.lastECCAcc, t.lastECCEvict = eccAcc, eccEvict
+	s.observer.OnEpoch(smp)
+}
+
+// flushObserver emits the final partial epoch of a Run, if any cycles
+// elapsed since the last boundary sample.
+func (s *System) flushObserver() {
+	if s.obsTicker != nil && s.eng.Now() > s.obsTicker.lastCycle {
+		s.obsTicker.sample()
+	}
+}

@@ -1,0 +1,118 @@
+package gpu
+
+import (
+	"testing"
+
+	"killi/internal/killi"
+	"killi/internal/obs"
+)
+
+// TestObservedRunIsBitIdentical runs the same fixed-seed simulation with
+// and without a Collector attached and demands identical results: the
+// observer only reads state, and its daemon ticker events must not perturb
+// the non-daemon event order.
+func TestObservedRunIsBitIdentical(t *testing.T) {
+	run := func(col obs.Observer) Result {
+		sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+		if col != nil {
+			sys.SetObserver(col, 2048)
+		}
+		return sys.Run(shortTraces("xsbench", 1500))
+	}
+	plain := run(nil)
+	col := obs.NewCollector()
+	observed := run(col)
+	if plain.Cycles != observed.Cycles || plain.L2Misses != observed.L2Misses ||
+		plain.Instructions != observed.Instructions ||
+		plain.DisabledLines != observed.DisabledLines {
+		t.Fatalf("observation perturbed the run:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+	for _, n := range plain.Counters.Names() {
+		if plain.Counters.Get(n) != observed.Counters.Get(n) {
+			t.Errorf("counter %s: plain %d, observed %d", n, plain.Counters.Get(n), observed.Counters.Get(n))
+		}
+	}
+}
+
+// TestObserverCollectsCoherentSeries checks the collected series against
+// the simulator's own statistics: an initial reset, monotone epoch cycles,
+// a final-flush sample at the run end, epoch deltas tiling the run totals,
+// and a disabled population matching the tag store.
+func TestObserverCollectsCoherentSeries(t *testing.T) {
+	const epoch = 2048
+	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	col := obs.NewCollector()
+	sys.SetObserver(col, epoch)
+	res := sys.Run(shortTraces("xsbench", 1500))
+
+	if len(col.Resets()) != 1 {
+		t.Fatalf("recorded %d resets, want the initial one", len(col.Resets()))
+	}
+	if r := col.Resets()[0]; r.Cycle != 0 || r.Voltage != 0.625 || r.Lines != col.Lines() {
+		t.Fatalf("initial reset %+v malformed", r)
+	}
+	eps := col.Epochs()
+	if len(eps) == 0 {
+		t.Fatal("no epochs collected")
+	}
+	var accs, misses, instrs uint64
+	last := uint64(0)
+	for i, e := range eps {
+		if e.Cycle <= last {
+			t.Fatalf("epoch %d cycle %d not after previous %d", i, e.Cycle, last)
+		}
+		if want := obs.EpochIndex(e.Cycle, epoch); e.Epoch != want {
+			t.Fatalf("epoch %d index %d, want %d for cycle %d", i, e.Epoch, want, e.Cycle)
+		}
+		// All but the final sample land exactly on epoch boundaries.
+		if i < len(eps)-1 && e.Cycle%epoch != 0 {
+			t.Fatalf("epoch %d sampled off-boundary at cycle %d", i, e.Cycle)
+		}
+		last = e.Cycle
+		accs += e.L2Accesses
+		misses += e.L2Misses
+		instrs += e.Instructions
+	}
+	if eps[len(eps)-1].Cycle != res.Cycles {
+		t.Fatalf("final flush at cycle %d, want run end %d", eps[len(eps)-1].Cycle, res.Cycles)
+	}
+	if accs != res.L2Accesses || misses != res.L2Misses || instrs != res.Instructions {
+		t.Fatalf("epoch deltas don't tile the run: acc %d/%d miss %d/%d instr %d/%d",
+			accs, res.L2Accesses, misses, res.L2Misses, instrs, res.Instructions)
+	}
+	if got := col.Populations()[obs.StateDisabled]; got != res.DisabledLines {
+		t.Fatalf("collector disabled population %d, tag store says %d", got, res.DisabledLines)
+	}
+	if len(col.Transitions()) == 0 {
+		t.Fatal("no DFH transitions recorded at 0.625xVDD")
+	}
+}
+
+// TestObserverTicksAcrossRuns pins the daemon-ticker lifecycle: the epoch
+// ticker armed in the first Run persists in the queue and keeps sampling in
+// later Runs (warm-up kernel followed by a measured kernel) without gaps.
+func TestObserverTicksAcrossRuns(t *testing.T) {
+	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	col := obs.NewCollector()
+	sys.SetObserver(col, 2048)
+	traces := shortTraces("xsbench", 1000)
+	res1 := sys.Run(traces)
+	n1 := len(col.Epochs())
+	res2 := sys.Run(traces)
+	if n1 == 0 || len(col.Epochs()) <= n1 {
+		t.Fatalf("epochs per run: first %d, after second %d — ticker died between Runs",
+			n1, len(col.Epochs()))
+	}
+	last := uint64(0)
+	for i, e := range col.Epochs() {
+		if e.Cycle <= last {
+			t.Fatalf("epoch %d cycle %d not after previous %d across Runs", i, e.Cycle, last)
+		}
+		last = e.Cycle
+	}
+	// Result.Cycles is per-Run; the collector records absolute engine
+	// cycles, so the final flush lands at the sum of both kernels.
+	if last != res1.Cycles+res2.Cycles {
+		t.Fatalf("final sample at %d, want cumulative run end %d", last, res1.Cycles+res2.Cycles)
+	}
+}

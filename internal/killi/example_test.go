@@ -7,6 +7,7 @@ import (
 	"killi/internal/cache"
 	"killi/internal/faultmodel"
 	"killi/internal/killi"
+	"killi/internal/obs"
 	"killi/internal/protection"
 	"killi/internal/sram"
 	"killi/internal/stats"
@@ -23,6 +24,8 @@ func (h *exampleHost) Tags() *cache.Cache            { return h.tags }
 func (h *exampleHost) Data() *sram.Array             { return h.data }
 func (h *exampleHost) Stats() *stats.Counters        { return &h.ctr }
 func (h *exampleHost) SchemeInvalidate(set, way int) { h.tags.Invalidate(set, way) }
+func (h *exampleHost) Now() uint64                   { return 0 }
+func (h *exampleHost) Observer() obs.Observer        { return nil }
 
 // Example walks one cache line through Killi's runtime classification: a
 // line with a single stuck-at fault is corrected on its first hit and

@@ -9,6 +9,7 @@ import (
 	"killi/internal/ecc/olsc"
 	"killi/internal/ecc/parity"
 	"killi/internal/ecc/secded"
+	"killi/internal/obs"
 	"killi/internal/protection"
 	"killi/internal/sram"
 	"killi/internal/stats"
@@ -197,6 +198,9 @@ func (k *Scheme) Reset(vNorm float64) {
 		k.parity4[i] = 0
 		k.dectedOn[i] = false
 	}
+	if o := k.h.Observer(); o != nil {
+		o.OnReset(obs.Reset{Cycle: k.h.Now(), Voltage: vNorm, Lines: len(k.parity4)})
+	}
 }
 
 // VictimFunc implements protection.Scheme: Killi's allocation priority
@@ -235,12 +239,22 @@ func (k *Scheme) VictimFunc() cache.VictimFunc {
 	}
 }
 
-// setDFH records a state transition on the tag entry and counts it.
+// setDFH records a state transition on the tag entry and counts it. With
+// an observer attached it also emits the transition as a timestamped
+// event; the nil-observer check is the only cost on the default path.
 func (k *Scheme) setDFH(set, way int, next DFH) {
 	e := k.h.Tags().Entry(set, way)
 	prev := DFH(e.Class)
 	if prev != next {
 		k.h.Stats().IncC(cDFHTransition[prev][next])
+		if o := k.h.Observer(); o != nil {
+			o.OnTransition(obs.Transition{
+				Cycle: k.h.Now(),
+				Line:  k.h.Tags().LineID(set, way),
+				From:  uint8(prev),
+				To:    uint8(next),
+			})
+		}
 	}
 	e.Class = int(next)
 	if next == Disabled {
@@ -739,6 +753,10 @@ func (k *Scheme) Scrub() (reclaimed int) {
 			e.Class = int(Stable1)
 		} else {
 			e.Class = int(Stable0)
+		}
+		if o := k.h.Observer(); o != nil {
+			o.OnTransition(obs.Transition{Cycle: k.h.Now(), Line: id,
+				From: uint8(Disabled), To: uint8(DFH(e.Class))})
 		}
 		k.h.Stats().IncC(cScrubReclaimed)
 		reclaimed++

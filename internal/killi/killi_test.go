@@ -7,6 +7,7 @@ import (
 	"killi/internal/bitvec"
 	"killi/internal/cache"
 	"killi/internal/faultmodel"
+	"killi/internal/obs"
 	"killi/internal/protection"
 	"killi/internal/sram"
 	"killi/internal/stats"
@@ -19,11 +20,15 @@ type testHost struct {
 	data        *sram.Array
 	ctr         stats.Counters
 	invalidated []int // line IDs invalidated at the scheme's request
+	cycle       uint64
+	obs         obs.Observer
 }
 
 func (h *testHost) Tags() *cache.Cache     { return h.tags }
 func (h *testHost) Data() *sram.Array      { return h.data }
 func (h *testHost) Stats() *stats.Counters { return &h.ctr }
+func (h *testHost) Now() uint64            { return h.cycle }
+func (h *testHost) Observer() obs.Observer { return h.obs }
 func (h *testHost) SchemeInvalidate(set, way int) {
 	h.invalidated = append(h.invalidated, h.tags.LineID(set, way))
 	h.tags.Invalidate(set, way)

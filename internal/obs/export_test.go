@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleCollector builds a small but fully-featured run: a reset, training
+// transitions, two complete epochs, a partial final epoch, and a second
+// reset (voltage transition) mid-stream.
+func sampleCollector() *Collector {
+	c := NewCollector()
+	c.OnReset(Reset{Cycle: 0, Voltage: 0.625, Lines: 8})
+	c.OnTransition(Transition{Cycle: 5, Line: 0, From: StateInitial, To: StateStable0})
+	c.OnTransition(Transition{Cycle: 9, Line: 1, From: StateInitial, To: StateStable1})
+	c.OnEpoch(Sample{
+		Epoch: 0, Cycle: 16,
+		L2Accesses: 40, L2Misses: 12, ErrorMisses: 3,
+		Instructions: 4000, StallCycles: 7,
+		DisabledLines: 0, ECCOccupancy: 1, ECCEntries: 2,
+		ECCAccesses: 9, ECCContentionEvictions: 1,
+	})
+	c.OnTransition(Transition{Cycle: 20, Line: 1, From: StateStable1, To: StateDisabled})
+	c.OnEpoch(Sample{Epoch: 1, Cycle: 32, L2Accesses: 10, Instructions: 1000, DisabledLines: 1})
+	c.OnReset(Reset{Cycle: 40, Voltage: 0.55, Lines: 8})
+	c.OnTransition(Transition{Cycle: 44, Line: 2, From: StateInitial, To: StateStable0})
+	c.OnEpoch(Sample{Epoch: 2, Cycle: 45, L2Accesses: 3})
+	return c
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := sampleCollector()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ParseJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(got.Resets(), c.Resets()) {
+		t.Errorf("resets round-trip mismatch:\n got %+v\nwant %+v", got.Resets(), c.Resets())
+	}
+	if !reflect.DeepEqual(got.Transitions(), c.Transitions()) {
+		t.Errorf("transitions round-trip mismatch:\n got %+v\nwant %+v", got.Transitions(), c.Transitions())
+	}
+	if !reflect.DeepEqual(got.Epochs(), c.Epochs()) {
+		t.Errorf("epochs round-trip mismatch:\n got %+v\nwant %+v", got.Epochs(), c.Epochs())
+	}
+	if got.Populations() != c.Populations() {
+		t.Errorf("population round-trip mismatch: got %v want %v", got.Populations(), c.Populations())
+	}
+}
+
+func TestJSONLChronologicalOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleCollector().WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	var last uint64
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Type  string `json:"type"`
+			Cycle uint64 `json:"cycle"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i+1, err)
+		}
+		if rec.Cycle < last {
+			t.Fatalf("line %d: cycle %d precedes previous cycle %d", i+1, rec.Cycle, last)
+		}
+		last = rec.Cycle
+	}
+}
+
+func TestJSONLZeroEpochSurvives(t *testing.T) {
+	// Epoch index 0 and an all-zero DFH vector must round-trip even though
+	// the record shape leans on omitempty: the pointer fields keep them.
+	c := NewCollector()
+	c.OnEpoch(Sample{Epoch: 0, Cycle: 16})
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"epoch":0`) || !strings.Contains(s, `"dfh":{`) {
+		t.Fatalf("zero epoch index or DFH vector dropped by omitempty: %s", s)
+	}
+	got, err := ParseJSONL(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if len(got.Epochs()) != 1 || got.Epochs()[0].Epoch != 0 {
+		t.Fatalf("epoch record did not survive the round trip: %+v", got.Epochs())
+	}
+}
+
+func TestParseJSONLRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"unknown type":   `{"type":"bogus","cycle":1}`,
+		"unknown state":  `{"type":"transition","cycle":1,"line":0,"from":"initial","to":"wat"}`,
+		"epoch sans dfh": `{"type":"epoch","cycle":1,"epoch":0}`,
+		"invalid json":   `{`,
+	}
+	for name, line := range cases {
+		if _, err := ParseJSONL(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: ParseJSONL accepted %q", name, line)
+		}
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	c := sampleCollector()
+	var buf bytes.Buffer
+	if err := c.WriteTraceEvents(&buf); err != nil {
+		t.Fatalf("WriteTraceEvents: %v", err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    uint64         `json:"ts"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		counts[ev.Phase]++
+		if ev.Phase == "C" && ev.Name == "dfh population" {
+			for _, k := range []string{"stable0", "initial", "stable1", "disabled"} {
+				if _, ok := ev.Args[k]; !ok {
+					t.Errorf("dfh population counter at ts=%d missing %q", ev.TS, k)
+				}
+			}
+		}
+	}
+	// 2 resets + 4 transitions as instants; 3 epochs × 3 counter tracks.
+	if counts["i"] != 6 {
+		t.Errorf("instant events = %d, want 6", counts["i"])
+	}
+	if counts["C"] != 9 {
+		t.Errorf("counter events = %d, want 9", counts["C"])
+	}
+	if counts["M"] != 1 {
+		t.Errorf("metadata events = %d, want 1", counts["M"])
+	}
+}
+
+func TestTrainingCurve(t *testing.T) {
+	c := sampleCollector()
+	curve := c.TrainingCurve()
+	if curve == "" {
+		t.Fatal("TrainingCurve returned empty for a collector with epochs")
+	}
+	for _, want := range []string{"stable0", "initial", "stable1", "disabled", "DFH population"} {
+		if !strings.Contains(curve, want) {
+			t.Errorf("training curve missing %q:\n%s", want, curve)
+		}
+	}
+	if (&Collector{}).TrainingCurve() != "" {
+		t.Error("TrainingCurve on an empty collector should return \"\"")
+	}
+}

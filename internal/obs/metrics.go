@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Metrics publishes live sweep progress over HTTP for long-running
+// invocations: an expvar-style JSON document at /metrics (plus the
+// process-wide expvar page at /debug/vars) with the task counters a
+// dashboard or a curl loop can poll while a sweep runs.
+//
+// The vars live on the Metrics value rather than in the global expvar
+// registry, so repeated constructions (tests, multiple sweeps in one
+// process) never collide on expvar.Publish's panic-on-duplicate.
+type Metrics struct {
+	start      time.Time
+	tasksTotal expvar.Int
+	tasksDone  expvar.Int
+	vars       *expvar.Map
+}
+
+// NewMetrics returns a Metrics with zeroed counters.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now(), vars: new(expvar.Map).Init()}
+	m.vars.Set("sweep_tasks_total", &m.tasksTotal)
+	m.vars.Set("sweep_tasks_done", &m.tasksDone)
+	m.vars.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	m.vars.Set("sweep_progress", expvar.Func(func() any {
+		total := m.tasksTotal.Value()
+		if total == 0 {
+			return 0.0
+		}
+		return float64(m.tasksDone.Value()) / float64(total)
+	}))
+	return m
+}
+
+// TaskDone records one completed sweep task; it has the signature of
+// experiments.Config.Progress and is safe for concurrent use (expvar.Int
+// is atomic).
+func (m *Metrics) TaskDone(done, total int) {
+	m.tasksTotal.Set(int64(total))
+	m.tasksDone.Set(int64(done))
+}
+
+// Handler serves the metrics document: "/metrics" (and "/") render the
+// Metrics vars as a JSON object; "/debug/vars" serves the standard expvar
+// page for process-wide vars (memstats, cmdline).
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	serve := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, m.vars.String())
+	}
+	mux.HandleFunc("/", serve)
+	mux.HandleFunc("/metrics", serve)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve starts the HTTP endpoint on addr (e.g. "localhost:8060"; a ":0"
+// port picks a free one) and returns the bound address. The server runs on
+// a background goroutine for the life of the process — sweep tools exit
+// when done, so there is no graceful-shutdown dance.
+func (m *Metrics) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

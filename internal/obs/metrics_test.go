@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	m := NewMetrics()
+	m.TaskDone(3, 12)
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for _, path := range []string{"/metrics", "/", "/debug/vars"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("GET %s: response is not valid JSON: %s", path, body)
+		}
+		if path == "/metrics" {
+			var doc struct {
+				Total    int64   `json:"sweep_tasks_total"`
+				Done     int64   `json:"sweep_tasks_done"`
+				Progress float64 `json:"sweep_progress"`
+				Uptime   float64 `json:"uptime_seconds"`
+			}
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Fatalf("decode /metrics: %v", err)
+			}
+			if doc.Total != 12 || doc.Done != 3 {
+				t.Errorf("tasks done/total = %d/%d, want 3/12", doc.Done, doc.Total)
+			}
+			if doc.Progress != 0.25 {
+				t.Errorf("sweep_progress = %v, want 0.25", doc.Progress)
+			}
+			if doc.Uptime < 0 {
+				t.Errorf("uptime_seconds = %v, want >= 0", doc.Uptime)
+			}
+		}
+	}
+}
+
+func TestMetricsProgressZeroTotal(t *testing.T) {
+	m := NewMetrics()
+	var doc struct {
+		Progress float64 `json:"sweep_progress"`
+	}
+	if err := json.Unmarshal([]byte(m.vars.String()), &doc); err != nil {
+		t.Fatalf("decode vars: %v", err)
+	}
+	if doc.Progress != 0 {
+		t.Errorf("sweep_progress with no tasks = %v, want 0", doc.Progress)
+	}
+}
+
+// TestMetricsNoGlobalCollision pins the reason the vars live on the value:
+// constructing two Metrics in one process must not panic on duplicate
+// expvar.Publish names.
+func TestMetricsNoGlobalCollision(t *testing.T) {
+	_ = NewMetrics()
+	_ = NewMetrics()
+}

@@ -1,0 +1,105 @@
+package obs
+
+import "testing"
+
+func TestEpochIndexBoundaries(t *testing.T) {
+	const E = 4096
+	cases := []struct {
+		cycle uint64
+		want  int
+	}{
+		{0, 0},           // cycle 0 belongs to epoch 0
+		{1, 0},           // first cycle of epoch 0
+		{E - 1, 0},       // interior
+		{E, 0},           // a boundary sample closes the epoch it ends
+		{E + 1, 1},       // first cycle of the next epoch
+		{2 * E, 1},       // next boundary
+		{2*E + 1, 2},     // and the epoch after it
+		{10*E + E/2, 10}, // mid-epoch partial flush
+	}
+	for _, c := range cases {
+		if got := EpochIndex(c.cycle, E); got != c.want {
+			t.Errorf("EpochIndex(%d, %d) = %d, want %d", c.cycle, E, got, c.want)
+		}
+	}
+	if got := EpochIndex(123, 0); got != 0 {
+		t.Errorf("EpochIndex with epochCycles=0 = %d, want 0", got)
+	}
+}
+
+func TestStateNameRoundTrip(t *testing.T) {
+	want := [NumStates]string{"stable0", "initial", "stable1", "disabled"}
+	for s := uint8(0); s < NumStates; s++ {
+		name := StateName(s)
+		if name != want[s] {
+			t.Errorf("StateName(%d) = %q, want %q", s, name, want[s])
+		}
+		if back := stateIndex(name); back != s {
+			t.Errorf("stateIndex(%q) = %d, want %d", name, back, s)
+		}
+	}
+	if StateName(NumStates) != "unknown" {
+		t.Error("StateName of an out-of-range index should be \"unknown\"")
+	}
+	if stateIndex("bogus") != NumStates {
+		t.Error("stateIndex of an unknown name should be NumStates")
+	}
+}
+
+func TestCollectorPopulationAccounting(t *testing.T) {
+	c := NewCollector()
+	c.OnReset(Reset{Cycle: 0, Voltage: 0.625, Lines: 100})
+	if c.Lines() != 100 {
+		t.Fatalf("Lines() = %d, want 100", c.Lines())
+	}
+	if p := c.Populations(); p != [NumStates]int{0, 100, 0, 0} {
+		t.Fatalf("post-reset populations %v, want all-Initial", p)
+	}
+
+	// Classify 3 lines clean, 2 with one fault, 1 disabled via Stable1.
+	for i := 0; i < 3; i++ {
+		c.OnTransition(Transition{Cycle: 10, Line: i, From: StateInitial, To: StateStable0})
+	}
+	for i := 3; i < 5; i++ {
+		c.OnTransition(Transition{Cycle: 20, Line: i, From: StateInitial, To: StateStable1})
+	}
+	c.OnTransition(Transition{Cycle: 30, Line: 4, From: StateStable1, To: StateDisabled})
+	if p := c.Populations(); p != [NumStates]int{3, 95, 1, 1} {
+		t.Fatalf("populations %v, want [3 95 1 1]", p)
+	}
+
+	// An epoch sample snapshots the vector at that moment.
+	c.OnEpoch(Sample{Epoch: 0, Cycle: 32})
+	c.OnTransition(Transition{Cycle: 40, Line: 5, From: StateInitial, To: StateStable0})
+	c.OnEpoch(Sample{Epoch: 1, Cycle: 64})
+	eps := c.Epochs()
+	if len(eps) != 2 {
+		t.Fatalf("collected %d epochs, want 2", len(eps))
+	}
+	if eps[0].DFH != [NumStates]int{3, 95, 1, 1} {
+		t.Errorf("epoch 0 snapshot %v, want [3 95 1 1]", eps[0].DFH)
+	}
+	if eps[1].DFH != [NumStates]int{4, 94, 1, 1} {
+		t.Errorf("epoch 1 snapshot %v, want [4 94 1 1]", eps[1].DFH)
+	}
+
+	// A second reset rebuilds the all-Initial vector.
+	c.OnReset(Reset{Cycle: 70, Voltage: 0.55, Lines: 100})
+	if p := c.Populations(); p != [NumStates]int{0, 100, 0, 0} {
+		t.Fatalf("post-second-reset populations %v, want all-Initial", p)
+	}
+	if len(c.Resets()) != 2 || len(c.Transitions()) != 7 {
+		t.Fatalf("recorded %d resets / %d transitions, want 2 / 7",
+			len(c.Resets()), len(c.Transitions()))
+	}
+}
+
+func TestSampleMPKI(t *testing.T) {
+	s := Sample{L2Misses: 50, Instructions: 10000}
+	if got := s.MPKI(); got != 5 {
+		t.Errorf("MPKI = %v, want 5", got)
+	}
+	if got := (Sample{L2Misses: 7}).MPKI(); got != 0 {
+		t.Errorf("MPKI with 0 instructions = %v, want 0", got)
+	}
+}

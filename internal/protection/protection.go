@@ -12,6 +12,7 @@ import (
 
 	"killi/internal/bitvec"
 	"killi/internal/cache"
+	"killi/internal/obs"
 	"killi/internal/sram"
 	"killi/internal/stats"
 )
@@ -53,6 +54,13 @@ type Host interface {
 	SchemeInvalidate(set, way int)
 	// Stats returns the run's counter set.
 	Stats() *stats.Counters
+	// Now returns the current simulation cycle (0 for hosts without a
+	// clock, e.g. unit-test fixtures driving a scheme directly).
+	Now() uint64
+	// Observer returns the attached observability sink, nil when
+	// observability is off — the common case, which schemes must keep
+	// allocation-free by emitting nothing.
+	Observer() obs.Observer
 }
 
 // Scheme is an error-protection mechanism attached to the L2.

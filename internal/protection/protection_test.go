@@ -6,6 +6,7 @@ import (
 	"killi/internal/bitvec"
 	"killi/internal/cache"
 	"killi/internal/faultmodel"
+	"killi/internal/obs"
 	"killi/internal/sram"
 	"killi/internal/stats"
 	"killi/internal/xrand"
@@ -21,6 +22,8 @@ func (h *testHost) Tags() *cache.Cache        { return h.tags }
 func (h *testHost) Data() *sram.Array         { return h.data }
 func (h *testHost) Stats() *stats.Counters    { return &h.ctr }
 func (h *testHost) SchemeInvalidate(s, w int) { h.tags.Invalidate(s, w) }
+func (h *testHost) Now() uint64               { return 0 }
+func (h *testHost) Observer() obs.Observer    { return nil }
 
 func newHost(t *testing.T, sets, ways int, faults [][]faultmodel.Fault, v float64) *testHost {
 	t.Helper()

@@ -1,0 +1,95 @@
+// doccheck fails (exit 1) when any Go package in the repository lacks a
+// package-level doc comment. It is part of the tier-1 gate (`make doccheck`),
+// so godoc coverage is enforced the same way tests are: a new package cannot
+// land undocumented.
+//
+// A package is documented when at least one of its non-test files carries a
+// doc comment on the package clause. Test-only packages (*_test) and
+// testdata trees are exempt.
+//
+// Usage:
+//
+//	go run ./tools/doccheck [root]
+//
+// root defaults to ".". The tool walks every directory, parses the package
+// clause and its comments only (fast; no type checking), and prints one line
+// per undocumented package.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	undocumented, err := run(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(undocumented) > 0 {
+		for _, dir := range undocumented {
+			fmt.Printf("doccheck: package in %s has no package doc comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// run returns the directories holding packages without a doc comment.
+func run(root string) ([]string, error) {
+	// dirs maps a directory to whether any of its non-test files documents
+	// the package; presence with value false means Go files were seen but
+	// no doc comment yet.
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			return nil
+		}
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			dirs[dir] = true
+		} else if _, ok := dirs[dir]; !ok {
+			dirs[dir] = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var undocumented []string
+	for dir, ok := range dirs {
+		if !ok {
+			undocumented = append(undocumented, dir)
+		}
+	}
+	sort.Strings(undocumented)
+	return undocumented, nil
+}

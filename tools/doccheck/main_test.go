@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsUndocumentedPackage(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(root, "good", "extra.go"), "package good\n")
+	write(t, filepath.Join(root, "bad", "bad.go"), "package bad\n")
+	write(t, filepath.Join(root, "bad", "bad_test.go"), "// Package bad — test files don't count.\npackage bad\n")
+	write(t, filepath.Join(root, "exempt", "testdata", "t.go"), "package t\n")
+
+	got, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != filepath.Join(root, "bad") {
+		t.Fatalf("undocumented = %v, want only the bad package", got)
+	}
+}
+
+func TestDocOnAnyFileSuffices(t *testing.T) {
+	root := t.TempDir()
+	// The doc comment lives on the second file, as with a dedicated doc.go.
+	write(t, filepath.Join(root, "p", "impl.go"), "package p\n")
+	write(t, filepath.Join(root, "p", "doc.go"), "// Package p is documented elsewhere.\npackage p\n")
+	got, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("undocumented = %v, want none", got)
+	}
+}
+
+// TestRepositoryIsFullyDocumented is the in-test mirror of the Makefile
+// gate: every package in this repository must carry a doc comment.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	got, err := run("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("undocumented packages: %v", got)
+	}
+}
