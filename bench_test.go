@@ -214,7 +214,7 @@ func BenchmarkAblationEvictionTraining(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return gpu.New(g, killi.New(cfg)).Run(w.Traces(g.CUs, 2500, 1))
+		return gpu.New(g, func() protection.Scheme { return killi.New(cfg) }).Run(w.Traces(g.CUs, 2500, 1))
 	}
 	trained := func(r gpu.Result) uint64 {
 		return r.Counters.Get("killi.dfh_b'01_to_b'00") + r.Counters.Get("killi.dfh_b'01_to_b'10")
@@ -240,7 +240,7 @@ func BenchmarkAblationAllocationPriority(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return gpu.New(g, killi.New(cfg)).Run(w.Traces(g.CUs, 2500, 1))
+		return gpu.New(g, func() protection.Scheme { return killi.New(cfg) }).Run(w.Traces(g.CUs, 2500, 1))
 	}
 	var once sync.Once
 	for i := 0; i < b.N; i++ {
@@ -286,9 +286,9 @@ func BenchmarkTransitionLatency(b *testing.B) {
 	var once sync.Once
 	for i := 0; i < b.N; i++ {
 		secded := protection.NewSECDEDPerLine()
-		repS := dvfs.RunSchedule(gpu.New(cfg, secded), secded, dvfs.DefaultMBIST(), mk())
+		repS := dvfs.RunSchedule(gpu.New(cfg, func() protection.Scheme { return protection.NewSECDEDPerLine() }), secded, dvfs.DefaultMBIST(), mk())
 		k := killi.New(killi.Config{Ratio: 64})
-		repK := dvfs.RunSchedule(gpu.New(cfg, k), k, dvfs.DefaultMBIST(), mk())
+		repK := dvfs.RunSchedule(gpu.New(cfg, func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }), k, dvfs.DefaultMBIST(), mk())
 		once.Do(func() {
 			b.Logf("Transition latency: secded-per-line %s", repS)
 			b.Logf("Transition latency: killi-1:64      %s", repK)
@@ -307,7 +307,7 @@ func BenchmarkAblationECCIndexing(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return gpu.New(g, killi.New(cfg)).Run(w.Traces(g.CUs, 2500, 1))
+		return gpu.New(g, func() protection.Scheme { return killi.New(cfg) }).Run(w.Traces(g.CUs, 2500, 1))
 	}
 	var once sync.Once
 	for i := 0; i < b.N; i++ {

@@ -2,25 +2,34 @@
 // tracked JSON baseline (BENCH_core.json), so performance regressions show
 // up in review like any other diff.
 //
-// Four metrics are captured:
+// Captured metrics:
 //
 //   - engine ns/event and allocs/event: a steady-state event-queue
-//     microbenchmark (reused engine and handler, 100 events per
-//     iteration) via testing.Benchmark;
+//     microbenchmark over the sharded engine's K=1 serial fast path
+//     (reused engine and sink, 100 events per iteration) via
+//     testing.Benchmark;
+//   - single_run_seconds: wall-clock (best of 3) for one simulation —
+//     xsbench × killi-1:64 at 0.625xVDD, 2500 requests per CU — at the
+//     -shards setting; this is the metric intra-run sharding moves;
 //   - sweep_seconds: wall-clock for the serial (-parallel 1) four-workload
 //     Figure 4/5 sweep at 0.625xVDD with 2500 requests per CU, no cache;
 //   - sweep_cold_seconds: the same sweep writing a fresh result cache
 //     (simulate everything, persist every task result);
 //   - sweep_warm_seconds: the same sweep again over that cache (every
-//     task served from disk).
+//     task served from disk);
+//   - shard_curve_single_run_seconds: the single-run wall-clock at
+//     K = 1, 2, 4, 8 shards (always measured serially per point), the
+//     scaling table EXPERIMENTS.md cites.
 //
 // When the output file already exists, its "baseline" entry is preserved
 // and only "current" is rewritten; delete the file to rebase the baseline.
 //
 // With -enforce, the run exits nonzero when the fresh measurement regresses
-// more than 15% against the existing file's baseline entry on ns_per_event
-// or sweep_seconds, or when allocs_per_event is nonzero — this is how CI
-// turns the committed baseline into a gate instead of an artifact.
+// against the file's baseline entry (15% on ns_per_event,
+// single_run_seconds, sweep_seconds, and sweep_cold_seconds; 2x on the
+// ms-scale, I/O-bound sweep_warm_seconds), when allocs_per_event is
+// nonzero, or when any gated baseline field is zero — a zero baseline
+// means the gate would silently pass, so it is an error, not a skip.
 package main
 
 import (
@@ -33,52 +42,56 @@ import (
 
 	"killi/internal/engine"
 	"killi/internal/experiments"
+	"killi/internal/killi"
+	"killi/internal/protection"
 )
 
 type point struct {
 	NsPerEvent       float64 `json:"ns_per_event"`
 	AllocsPerEvent   float64 `json:"allocs_per_event"`
+	SingleRunSeconds float64 `json:"single_run_seconds"`
 	SweepSeconds     float64 `json:"sweep_seconds"`
 	SweepColdSeconds float64 `json:"sweep_cold_seconds"`
 	SweepWarmSeconds float64 `json:"sweep_warm_seconds"`
 }
 
 type report struct {
-	Baseline point `json:"baseline"`
-	Current  point `json:"current"`
-}
-
-// benchHandler reschedules itself for half the fired events so the queue
-// stays warm, mirroring the engine package's steady-state benchmark.
-type benchHandler struct {
-	e     *engine.Engine
-	count int
-}
-
-func (h *benchHandler) Fire() {
-	h.count++
-	if h.count%2 == 0 {
-		h.e.ScheduleHandler(h.e.Now()%13, h)
-	}
+	Baseline   point              `json:"baseline"`
+	Current    point              `json:"current"`
+	ShardCurve map[string]float64 `json:"shard_curve_single_run_seconds,omitempty"`
 }
 
 const eventsPerIter = 100
 
+// sinkFunc adapts a function to engine.EventSink.
+type sinkFunc func(kind uint8, a, b uint64)
+
+func (f sinkFunc) OnEvent(kind uint8, a, b uint64) { f(kind, a, b) }
+
+// benchEngine measures the sharded engine's K=1 serial fast path — the
+// path every default simulation runs on — with a self-rescheduling sink
+// that keeps the queue warm, mirroring the engine package's steady-state
+// benchmark.
 func benchEngine() (nsPerEvent, allocsPerEvent float64) {
 	res := testing.Benchmark(func(b *testing.B) {
-		var e engine.Engine
-		h := &benchHandler{e: &e}
+		s := engine.NewSharded(1)
+		d := s.Domain(0)
+		d.Bind(sinkFunc(func(kind uint8, a, bb uint64) {
+			if a%2 == 0 {
+				d.After(d.Now()%13, kind, a+1, bb)
+			}
+		}))
 		for i := 0; i < 128; i++ {
-			e.ScheduleHandler(uint64(i%13), h)
+			d.After(uint64(i%13), 0, uint64(i), 0)
 		}
-		e.Run()
+		s.Run()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for j := 0; j < eventsPerIter; j++ {
-				e.ScheduleHandler(uint64(j%13), h)
+				d.After(uint64(j%13), 0, uint64(j), 0)
 			}
-			e.Run()
+			s.Run()
 		}
 	})
 	return float64(res.NsPerOp()) / eventsPerIter,
@@ -87,43 +100,78 @@ func benchEngine() (nsPerEvent, allocsPerEvent float64) {
 
 // sweepConfig is the fixed benchmark sweep; cacheDir == "" disables the
 // result cache.
-func sweepConfig(cacheDir string) experiments.Config {
+func sweepConfig(cacheDir string, shards int) experiments.Config {
 	return experiments.Config{
 		Voltage:       0.625,
 		RequestsPerCU: 2500,
 		Seed:          1,
 		Workloads:     []string{"nekbone", "quicksilver", "xsbench", "fft"},
 		Parallelism:   1,
+		Shards:        shards,
 		CacheDir:      cacheDir,
 	}
 }
 
-func benchSweep(cacheDir string) (float64, error) {
+func benchSweep(cacheDir string, shards int) (float64, error) {
 	start := time.Now()
-	if _, err := experiments.Run(sweepConfig(cacheDir)); err != nil {
+	if _, err := experiments.Run(sweepConfig(cacheDir, shards)); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil
 }
 
-// enforce compares a fresh measurement against the committed baseline and
-// returns the violations (empty = within budget). The two throughput
-// metrics gate at 15%; allocs_per_event gates absolutely at zero — the
-// historical baseline entry predates the allocation-free rewrite, and any
-// nonzero measurement today means a hot path grew an allocation (e.g. an
-// instrumentation hook escaping its nil-observer guard). The cold/warm
-// cache numbers track sweep_seconds plus
-// I/O that CI runners make too noisy to bound tightly.
-func enforce(baseline, cur point) []string {
-	const maxRegress = 1.15
-	var bad []string
-	if baseline.NsPerEvent > 0 && cur.NsPerEvent > baseline.NsPerEvent*maxRegress {
-		bad = append(bad, fmt.Sprintf("ns_per_event %.1f exceeds baseline %.1f by more than 15%%",
-			cur.NsPerEvent, baseline.NsPerEvent))
+// benchSingle measures one simulation's wall-clock (best of three) at the
+// given shard count: the sweep's memory-bound cell, xsbench × killi-1:64.
+func benchSingle(shards int) (float64, error) {
+	cfg := experiments.Config{
+		Voltage:       0.625,
+		RequestsPerCU: 2500,
+		Seed:          1,
+		Shards:        shards,
 	}
-	if baseline.SweepSeconds > 0 && cur.SweepSeconds > baseline.SweepSeconds*maxRegress {
-		bad = append(bad, fmt.Sprintf("sweep_seconds %.3f exceeds baseline %.3f by more than 15%%",
-			cur.SweepSeconds, baseline.SweepSeconds))
+	newScheme := func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := experiments.RunOne(cfg, "xsbench", newScheme, cfg.Voltage); err != nil {
+			return 0, err
+		}
+		if s := time.Since(start).Seconds(); i == 0 || s < best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// enforce compares a fresh measurement against the committed baseline and
+// returns the violations (empty = within budget). Throughput metrics gate
+// at 15%; the ms-scale, I/O-bound warm-cache sweep gates loosely at 2x;
+// allocs_per_event gates absolutely at zero (any nonzero measurement means
+// a hot path grew an allocation, e.g. an instrumentation hook escaping its
+// nil-observer guard). A zero-valued baseline on any gated field is itself
+// a violation: it means the committed file never captured that metric and
+// the ratio gate would silently pass forever.
+func enforce(baseline, cur point) []string {
+	var bad []string
+	for _, g := range []struct {
+		name      string
+		base, cur float64
+		maxRatio  float64
+	}{
+		{"ns_per_event", baseline.NsPerEvent, cur.NsPerEvent, 1.15},
+		{"single_run_seconds", baseline.SingleRunSeconds, cur.SingleRunSeconds, 1.15},
+		{"sweep_seconds", baseline.SweepSeconds, cur.SweepSeconds, 1.15},
+		{"sweep_cold_seconds", baseline.SweepColdSeconds, cur.SweepColdSeconds, 1.15},
+		{"sweep_warm_seconds", baseline.SweepWarmSeconds, cur.SweepWarmSeconds, 2.0},
+	} {
+		if g.base == 0 {
+			bad = append(bad, fmt.Sprintf("%s baseline is 0 — the gate cannot fire; rebase the baseline (delete the file and rerun)", g.name))
+			continue
+		}
+		if g.cur > g.base*g.maxRatio {
+			bad = append(bad, fmt.Sprintf("%s %.4f exceeds baseline %.4f by more than %d%%",
+				g.name, g.cur, g.base, int((g.maxRatio-1)*100+0.5)))
+		}
 	}
 	if cur.AllocsPerEvent > 0 {
 		bad = append(bad, fmt.Sprintf("allocs_per_event %.2f, want 0 (steady state must stay allocation-free)",
@@ -134,17 +182,39 @@ func enforce(baseline, cur point) []string {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file for the benchmark report")
-	gate := flag.Bool("enforce", false, "exit nonzero when ns_per_event or sweep_seconds regresses >15% against the file's baseline entry, or when allocs_per_event is nonzero")
+	gate := flag.Bool("enforce", false, "exit nonzero on regression against the file's baseline entry (15% throughput, 2x warm cache), nonzero allocs_per_event, or a zero-valued gated baseline field")
+	shards := flag.Int("shards", 1, "intra-run shard count for the sweep and single-run measurements (the shard curve always covers K=1..8)")
 	flag.Parse()
 
 	ns, allocs := benchEngine()
-	fmt.Fprintf(os.Stderr, "engine: %.1f ns/event, %.2f allocs/event\n", ns, allocs)
-	sweep, err := benchSweep("")
+	fmt.Fprintf(os.Stderr, "engine: %.1f ns/event, %.2f allocs/event (K=1 serial path)\n", ns, allocs)
+
+	single, err := benchSingle(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: single run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "single: %.3f s (xsbench x killi-1:64, 2500 req/CU, %d shards, best of 3)\n",
+		single, *shards)
+
+	curve := map[string]float64{}
+	for _, k := range []int{1, 2, 4, 8} {
+		s, err := benchSingle(k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "killi-bench: shard curve K=%d: %v\n", k, err)
+			os.Exit(1)
+		}
+		curve[fmt.Sprintf("%d", k)] = s
+		fmt.Fprintf(os.Stderr, "curve:  K=%d %.3f s\n", k, s)
+	}
+
+	sweep, err := benchSweep("", *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-bench: sweep: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "sweep:  %.3f s (4 workloads, 2500 req/CU, serial, no cache)\n", sweep)
+	fmt.Fprintf(os.Stderr, "sweep:  %.3f s (4 workloads, 2500 req/CU, serial, no cache, %d shards)\n",
+		sweep, *shards)
 
 	cacheDir, err := os.MkdirTemp("", "killi-bench-cache-")
 	if err != nil {
@@ -152,12 +222,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer os.RemoveAll(cacheDir)
-	cold, err := benchSweep(cacheDir)
+	cold, err := benchSweep(cacheDir, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-bench: cold sweep: %v\n", err)
 		os.Exit(1)
 	}
-	warm, err := benchSweep(cacheDir)
+	warm, err := benchSweep(cacheDir, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-bench: warm sweep: %v\n", err)
 		os.Exit(1)
@@ -168,11 +238,12 @@ func main() {
 	cur := point{
 		NsPerEvent:       ns,
 		AllocsPerEvent:   allocs,
+		SingleRunSeconds: single,
 		SweepSeconds:     sweep,
 		SweepColdSeconds: cold,
 		SweepWarmSeconds: warm,
 	}
-	rep := report{Baseline: cur, Current: cur}
+	rep := report{Baseline: cur, Current: cur, ShardCurve: curve}
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old report
 		if json.Unmarshal(prev, &old) == nil && old.Baseline != (point{}) {
@@ -190,9 +261,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "killi-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (baseline sweep %.3fs -> current %.3fs, %.2fx; warm cache %.3fs)\n",
+	fmt.Printf("wrote %s (baseline sweep %.3fs -> current %.3fs, %.2fx; single %.3fs; warm cache %.3fs)\n",
 		*out, rep.Baseline.SweepSeconds, rep.Current.SweepSeconds,
-		rep.Baseline.SweepSeconds/rep.Current.SweepSeconds, warm)
+		rep.Baseline.SweepSeconds/rep.Current.SweepSeconds, single, warm)
 
 	if *gate {
 		if bad := enforce(rep.Baseline, cur); len(bad) > 0 {

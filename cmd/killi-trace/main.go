@@ -58,13 +58,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	scheme, err := experiments.SchemeByName(*schemeName)
+	newScheme, err := experiments.SchemeFactoryByName(*schemeName)
 	if err != nil {
 		fatal(err)
 	}
-	res := gpu.New(cfg, scheme).Run(traces)
+	res := gpu.New(cfg, newScheme).Run(traces)
 
-	fmt.Printf("scheme:        %s @ %.3fxVDD\n", scheme.Name(), *voltage)
+	fmt.Printf("scheme:        %s @ %.3fxVDD\n", newScheme().Name(), *voltage)
 	fmt.Printf("cycles:        %d\n", res.Cycles)
 	fmt.Printf("instructions:  %d\n", res.Instructions)
 	fmt.Printf("L2 accesses:   %d (misses %d, MPKI %.2f)\n", res.L2Accesses, res.L2Misses, res.MPKI())

@@ -38,14 +38,18 @@ func main() {
 		mbist.StallCycles(cfg.L2Bytes/cfg.LineBytes))
 
 	for _, tc := range []struct {
-		name   string
-		scheme protection.Scheme
+		name      string
+		newScheme protection.Factory
 	}{
-		{"secded-per-line (MBIST at every transition)", protection.NewSECDEDPerLine()},
-		{"killi 1:64      (no MBIST, runtime DFH relearn)", killi.New(killi.Config{Ratio: 64})},
+		{"secded-per-line (MBIST at every transition)",
+			func() protection.Scheme { return protection.NewSECDEDPerLine() }},
+		{"killi 1:64      (no MBIST, runtime DFH relearn)",
+			func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }},
 	} {
-		sys := gpu.New(cfg, tc.scheme)
-		rep := dvfs.RunSchedule(sys, tc.scheme, mbist, phases)
+		sys := gpu.New(cfg, tc.newScheme)
+		// A probe instance answers NeedsMBIST; the per-bank instances the
+		// system attached are interchangeable with it for that question.
+		rep := dvfs.RunSchedule(sys, tc.newScheme(), mbist, phases)
 		fmt.Printf("%-48s %s\n", tc.name, rep)
 	}
 

@@ -19,9 +19,11 @@ func main() {
 	cfg := gpu.DefaultConfig()
 	cfg.Voltage = 0.625
 
-	// Killi with a 1:64 ECC cache (one ECC entry per 64 L2 lines).
-	scheme := killi.New(killi.Config{Ratio: 64})
-	sys := gpu.New(cfg, scheme)
+	// Killi with a 1:64 ECC cache (one ECC entry per 64 L2 lines). The
+	// system takes a factory — it builds one scheme instance per L2 bank.
+	sys := gpu.New(cfg, func() protection.Scheme {
+		return killi.New(killi.Config{Ratio: 64})
+	})
 
 	// One of the ten workload proxies: XSBench-style random table lookups.
 	w, err := workload.ByName("xsbench")
@@ -34,8 +36,8 @@ func main() {
 	fmt.Printf("cycles:              %d\n", res.Cycles)
 	fmt.Printf("instructions:        %d\n", res.Instructions)
 	fmt.Printf("L2 MPKI:             %.2f\n", res.MPKI())
-	fmt.Printf("ECC cache entries:   %d (occupied at end: %d)\n",
-		scheme.ECCEntries(), scheme.ECCOccupancy())
+	occ, entries, _ := sys.ECCStats()
+	fmt.Printf("ECC cache entries:   %d (occupied at end: %d)\n", entries, occ)
 	fmt.Printf("lines disabled:      %d of %d\n", res.DisabledLines, cfg.L2Bytes/cfg.LineBytes)
 	fmt.Println()
 	fmt.Println("Killi classification activity:")
@@ -53,7 +55,9 @@ func main() {
 	}
 
 	// Compare against the fault-free baseline at nominal voltage.
-	base := gpu.New(gpu.DefaultConfig(), protection.NewNone()).Run(w.Traces(cfg.CUs, 5000, 42))
+	base := gpu.New(gpu.DefaultConfig(), func() protection.Scheme {
+		return protection.NewNone()
+	}).Run(w.Traces(cfg.CUs, 5000, 42))
 	fmt.Printf("\nslowdown vs fault-free nominal baseline: %.2f%%\n",
 		(float64(res.Cycles)/float64(base.Cycles)-1)*100)
 }

@@ -90,10 +90,12 @@ func (r Report) String() string {
 }
 
 // RunSchedule drives a system through a voltage schedule, charging the
-// MBIST stall at every transition when the scheme requires it.
+// MBIST stall at every transition when the scheme requires it. scheme is a
+// probe instance (e.g. one built from the factory the system was
+// constructed with) consulted only for NeedsMBIST.
 func RunSchedule(sys *gpu.System, scheme protection.Scheme, m MBISTModel, phases []Phase) Report {
 	rep := Report{}
-	lines := sys.Tags().Config().Lines()
+	lines := sys.L2Lines()
 	for i, ph := range phases {
 		if i > 0 || ph.Voltage != sys.Voltage() {
 			var stall uint64

@@ -70,9 +70,9 @@ func TestScheduleChargesStallsOnlyForMBISTSchemes(t *testing.T) {
 	m := DefaultMBIST()
 
 	secded := protection.NewSECDEDPerLine()
-	repS := RunSchedule(gpu.New(smallCfg(1.0), secded), secded, m, phases)
+	repS := RunSchedule(gpu.New(smallCfg(1.0), func() protection.Scheme { return protection.NewSECDEDPerLine() }), secded, m, phases)
 	k := killi.New(killi.Config{Ratio: 64})
-	repK := RunSchedule(gpu.New(smallCfg(1.0), k), k, m, phases)
+	repK := RunSchedule(gpu.New(smallCfg(1.0), func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }), k, m, phases)
 
 	if repS.Transitions != 3 || repK.Transitions != 3 {
 		t.Fatalf("transitions: secded=%d killi=%d, want 3", repS.Transitions, repK.Transitions)
@@ -94,7 +94,7 @@ func TestVoltageTransitionReclaimsAndRelearns(t *testing.T) {
 	// (reset reclaims), drop again: the system keeps running and never
 	// silently corrupts.
 	k := killi.New(killi.Config{Ratio: 32})
-	sys := gpu.New(smallCfg(0.575), k)
+	sys := gpu.New(smallCfg(0.575), func() protection.Scheme { return killi.New(killi.Config{Ratio: 32}) })
 	phases := []Phase{
 		{Voltage: 0.575, Kernel: kernel(800)},
 		{Voltage: 1.0, Kernel: kernel(800)},
@@ -126,9 +126,9 @@ func TestStallDelaysExecution(t *testing.T) {
 	}
 	m := DefaultMBIST()
 	secded := protection.NewSECDEDPerLine()
-	repS := RunSchedule(gpu.New(smallCfg(1.0), secded), secded, m, phases)
+	repS := RunSchedule(gpu.New(smallCfg(1.0), func() protection.Scheme { return protection.NewSECDEDPerLine() }), secded, m, phases)
 	k := killi.New(killi.Config{Ratio: 64})
-	repK := RunSchedule(gpu.New(smallCfg(1.0), k), k, m, phases)
+	repK := RunSchedule(gpu.New(smallCfg(1.0), func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }), k, m, phases)
 	if repS.TotalCycles < repK.TotalCycles+m.StallCycles(2048)/2 {
 		t.Fatalf("MBIST stall not reflected: secded=%d killi=%d", repS.TotalCycles, repK.TotalCycles)
 	}

@@ -9,7 +9,7 @@ import (
 	"killi/internal/workload"
 )
 
-func run(t *testing.T, v float64, scheme protection.Scheme, warm int) gpu.Result {
+func run(t *testing.T, v float64, newScheme protection.Factory, warm int) gpu.Result {
 	t.Helper()
 	cfg := gpu.DefaultConfig()
 	cfg.L2Bytes = 128 << 10
@@ -19,7 +19,7 @@ func run(t *testing.T, v float64, scheme protection.Scheme, warm int) gpu.Result
 		t.Fatal(err)
 	}
 	traces := w.Traces(cfg.CUs, 2500, 3)
-	sys := gpu.New(cfg, scheme)
+	sys := gpu.New(cfg, newScheme)
 	for i := 0; i < warm; i++ {
 		sys.Run(traces)
 	}
@@ -31,8 +31,8 @@ func TestUndervoltingSavesEnergy(t *testing.T) {
 	// less L2 energy than the fault-free baseline at nominal voltage on
 	// the same (steady-state) kernel.
 	c := DefaultCosts()
-	base := FromRun(run(t, 1.0, protection.NewNone(), 1), 1.0, c)
-	lv := FromRun(run(t, 0.625, killi.New(killi.Config{Ratio: 64}), 1), 0.625, c)
+	base := FromRun(run(t, 1.0, func() protection.Scheme { return protection.NewNone() }, 1), 1.0, c)
+	lv := FromRun(run(t, 0.625, func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 1), 0.625, c)
 	pct := Table6Percent(lv, base)
 	if pct >= 80 {
 		t.Fatalf("LV subsystem energy = %.1f%% of nominal; undervolting saved almost nothing", pct)
@@ -50,11 +50,11 @@ func TestUndervoltingSavesEnergy(t *testing.T) {
 func TestECCEnergyScalesWithECCCacheSize(t *testing.T) {
 	// A busier ECC cache burns more ECC energy during training.
 	c := DefaultCosts()
-	small := FromRun(run(t, 0.625, killi.New(killi.Config{Ratio: 256}), 0), 0.625, c)
+	small := FromRun(run(t, 0.625, func() protection.Scheme { return killi.New(killi.Config{Ratio: 256}) }, 0), 0.625, c)
 	if small.ECC <= 0 {
 		t.Fatal("no ECC energy recorded for Killi")
 	}
-	none := FromRun(run(t, 1.0, protection.NewNone(), 0), 1.0, c)
+	none := FromRun(run(t, 1.0, func() protection.Scheme { return protection.NewNone() }, 0), 1.0, c)
 	if none.ECC >= small.ECC {
 		t.Fatal("baseline shows more ECC energy than Killi")
 	}
@@ -62,7 +62,7 @@ func TestECCEnergyScalesWithECCCacheSize(t *testing.T) {
 
 func TestBreakdownComponents(t *testing.T) {
 	c := DefaultCosts()
-	b := FromRun(run(t, 0.625, killi.New(killi.Config{Ratio: 64}), 0), 0.625, c)
+	b := FromRun(run(t, 0.625, func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 0), 0.625, c)
 	if b.Array <= 0 || b.DRAM <= 0 || b.Leakage <= 0 {
 		t.Fatalf("degenerate breakdown: %+v", b)
 	}
@@ -79,7 +79,7 @@ func TestNormalizedPercentEdge(t *testing.T) {
 
 func TestVoltageScalingDirection(t *testing.T) {
 	// The same activity charged at lower voltage must cost less.
-	res := run(t, 0.625, killi.New(killi.Config{Ratio: 64}), 0)
+	res := run(t, 0.625, func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 0)
 	c := DefaultCosts()
 	lo := FromRun(res, 0.625, c)
 	hi := FromRun(res, 1.0, c)

@@ -1,17 +1,23 @@
 // Package engine provides the discrete-event simulation kernel: a clock and
-// an event queue with deterministic same-cycle ordering.
+// event queues with deterministic same-cycle ordering.
 //
 // The GPU memory-hierarchy model is expressed as events (request issue,
 // bank response, DRAM completion) scheduled at future cycles. Determinism
-// matters: two events at the same cycle fire in scheduling order, so a
+// matters: two events at the same cycle fire in a canonical order, so a
 // simulation configuration plus a seed fully determines every statistic.
 //
-// The queue is a typed four-ary min-heap ordered by (cycle, scheduling
-// sequence). Compared with container/heap it avoids interface boxing and
-// per-operation allocation: Schedule and Step move fixed-size event structs
-// within one backing slice, so the steady state allocates nothing. Callers
-// on hot paths can implement Handler and pass a reusable event object to
-// ScheduleHandler instead of capturing a fresh closure per event.
+// The production kernel is Sharded (sharded.go): simulator state is
+// partitioned into domains, each with a bound EventSink, and domains are
+// grouped onto K shards that advance in lock-step barrier rounds under a
+// one-cycle cross-domain lookahead. K=1 is a plain serial pop loop with
+// zero steady-state allocations; results are bit-identical at every K.
+//
+// Engine (this file) is the original single-queue kernel, kept as the
+// compact reference implementation: a typed four-ary min-heap ordered by
+// (cycle, scheduling sequence) with the same zero-allocation discipline
+// (reusable Handler objects via ScheduleHandler). Sharded reuses its heap
+// layout per shard; the oracle tests in determinism_test.go pin its
+// ordering against a naive reference queue.
 package engine
 
 // Handler is a scheduled callback object. Implementations that are reused

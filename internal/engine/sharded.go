@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the bank-sharded parallel event engine: a
+// multi-domain discrete-event simulator whose results are bit-identical at
+// any shard count.
+//
+// The model is conservative parallel discrete-event simulation with unit
+// lookahead. All simulator state is partitioned into domains; an event is
+// owned by exactly one domain and only that domain's sink observes it.
+// Within a domain, events fire in a canonical total order — (cycle, key),
+// where the key packs the event's class, origin domain, and a per-domain
+// scheduling sequence — that is a function of the simulation alone, never
+// of how domains are grouped onto shards. Sharding therefore only decides
+// which OS thread fires an event, not when or in what order relative to
+// the rest of its domain, which is what makes K-invariance hold by
+// construction instead of by careful merging.
+//
+// Cross-domain communication must use Send with a delivery delay of at
+// least one cycle — the engine's lookahead. That guarantee means every
+// message bound for cycle t exists in its destination shard's heap before
+// the barrier round that processes t begins, so each timestamp is handled
+// in exactly one round and no message can arrive "late" behind a
+// same-cycle event that already fired.
+
+// EventSink receives a domain's events. Exactly one sink is bound per
+// domain; OnEvent is called only from the shard worker that owns the
+// domain (or the caller's goroutine in serial mode), so a sink may touch
+// its domain's state without locking — and must touch no other domain's.
+type EventSink interface {
+	OnEvent(kind uint8, a, b uint64)
+}
+
+const (
+	seqBits    = 48
+	domainBits = 15
+	// msgClass marks cross-domain messages in the canonical key. At equal
+	// cycle a domain fires its local events before delivered messages;
+	// messages order among themselves by (source domain, source sequence).
+	msgClass = uint64(1) << 63
+	noEvent  = ^uint64(0)
+)
+
+// sevent is one queued event: payload (kind, a, b) for the sink of domain
+// dst, firing at cycle `when`, totally ordered by (when, key).
+type sevent struct {
+	when uint64
+	key  uint64
+	a, b uint64
+	dst  int32
+	kind uint8
+}
+
+func (e sevent) less(o sevent) bool {
+	if e.when != o.when {
+		return e.when < o.when
+	}
+	return e.key < o.key
+}
+
+// shardState is one shard's private event heap plus its outboxes. During a
+// parallel round, shard w appends outgoing messages to out[dst] (only w
+// writes its own rows) and, in the ingest phase, drains column w of every
+// shard's outbox (only w reads/resets that column); the round barriers
+// order the two phases, so no slice is ever touched concurrently.
+type shardState struct {
+	heap []sevent
+	out  [][]sevent
+	// now is the cycle the shard is processing; Domain.Now reads it, so it
+	// is written only by the owning worker (or single-threaded code).
+	now uint64
+	// min is the shard's next event cycle (noEvent when drained),
+	// published between barriers so every worker derives the next round's
+	// timestamp from the same snapshot.
+	min  uint64
+	_pad [40]byte // keep hot per-shard words off shared cache lines
+}
+
+func (sh *shardState) push(ev sevent) {
+	sh.heap = append(sh.heap, ev)
+	i := len(sh.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.less(sh.heap[parent]) {
+			break
+		}
+		sh.heap[i] = sh.heap[parent]
+		i = parent
+	}
+	sh.heap[i] = ev
+}
+
+func (sh *shardState) pop() sevent {
+	top := sh.heap[0]
+	n := len(sh.heap) - 1
+	last := sh.heap[n]
+	sh.heap = sh.heap[:n]
+	if n == 0 {
+		return top
+	}
+	// Bottom-up hole sift, as in Engine.siftDown: walk the hole down the
+	// min-child path, then sift the displaced last element back up.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if sh.heap[c].less(sh.heap[best]) {
+				best = c
+			}
+		}
+		sh.heap[i] = sh.heap[best]
+		i = best
+	}
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !last.less(sh.heap[parent]) {
+			break
+		}
+		sh.heap[i] = sh.heap[parent]
+		i = parent
+	}
+	sh.heap[i] = last
+	return top
+}
+
+func (sh *shardState) minWhen() uint64 {
+	if len(sh.heap) == 0 {
+		return noEvent
+	}
+	return sh.heap[0].when
+}
+
+// Domain is one partition of simulator state: an event queue identity
+// whose events all fire on one shard, in canonical order. Obtain domains
+// from Sharded.Domain; the zero value is not usable.
+type Domain struct {
+	eng   *Sharded
+	id    int32
+	shard int32
+	seq   uint64
+	sink  EventSink
+}
+
+// Bind attaches the sink that receives this domain's events.
+func (d *Domain) Bind(sink EventSink) { d.sink = sink }
+
+// ID returns the domain's index.
+func (d *Domain) ID() int { return int(d.id) }
+
+// Now returns the cycle the domain's shard is processing (equal to the
+// engine clock outside Run).
+func (d *Domain) Now() uint64 { return d.eng.shards[d.shard].now }
+
+// After schedules a local event on this domain, delay cycles from its
+// current cycle. A delay of 0 fires later in the same cycle, after the
+// domain's already-queued same-cycle local events. Call it during setup
+// (between Runs) or from this domain's own sink; never from another
+// domain's.
+func (d *Domain) After(delay uint64, kind uint8, a, b uint64) {
+	sh := &d.eng.shards[d.shard]
+	d.seq++
+	sh.push(sevent{
+		when: sh.now + delay,
+		key:  uint64(d.id)<<seqBits | d.seq,
+		a:    a, b: b,
+		dst:  d.id,
+		kind: kind,
+	})
+}
+
+// Send schedules an event on another domain, delay cycles from the sending
+// domain's current cycle. The delay must be at least 1 — the engine's
+// lookahead: it is what lets shards process a timestamp in one barrier
+// round, knowing no same-cycle message can still be in flight. Delivery
+// order at equal cycle is canonical — after the destination's local
+// events, ordered by (sending domain, sending sequence) — so results do
+// not depend on shard grouping.
+func (d *Domain) Send(dst *Domain, delay uint64, kind uint8, a, b uint64) {
+	if delay == 0 {
+		panic("engine: Send requires delay >= 1 (the cross-domain lookahead)")
+	}
+	e := d.eng
+	sh := &e.shards[d.shard]
+	d.seq++
+	ev := sevent{
+		when: sh.now + delay,
+		key:  msgClass | uint64(d.id)<<seqBits | d.seq,
+		a:    a, b: b,
+		dst:  dst.id,
+		kind: kind,
+	}
+	if ds := dst.shard; ds == d.shard {
+		sh.push(ev)
+	} else {
+		sh.out[ds] = append(sh.out[ds], ev)
+	}
+}
+
+// Sharded is a discrete-event engine over a fixed set of domains, able to
+// fire independent domains' events in parallel. Construct with NewSharded.
+//
+// With one shard (the default) Run is a plain serial pop loop with zero
+// steady-state allocations — the fast path the sweep uses. With K shards,
+// K workers advance in lock-step rounds of one timestamp each under a spin
+// barrier; every statistic, event order, and observer stream is
+// bit-identical to the serial run at any K.
+type Sharded struct {
+	domains []Domain
+	shards  []shardState
+	now     uint64
+
+	// pacer is an optional hook fired once per boundary (multiples of
+	// pacerEvery) strictly between rounds: every domain is parked when it
+	// runs, so it may read all simulator state. It fires for each boundary
+	// B <= the next event cycle, which reproduces the semantics of a
+	// daemon ticker event on the serial engine: a boundary with no
+	// remaining events after it never fires.
+	pacer      func(boundary uint64)
+	pacerEvery uint64
+	pacerNext  uint64
+}
+
+// NewSharded returns an engine over numDomains domains, initially with one
+// shard (serial execution).
+func NewSharded(numDomains int) *Sharded {
+	if numDomains < 1 || numDomains >= 1<<domainBits {
+		panic(fmt.Sprintf("engine: %d domains out of range", numDomains))
+	}
+	s := &Sharded{domains: make([]Domain, numDomains)}
+	for i := range s.domains {
+		s.domains[i] = Domain{eng: s, id: int32(i)}
+	}
+	s.setShards(1)
+	return s
+}
+
+// Domain returns domain i.
+func (s *Sharded) Domain(i int) *Domain { return &s.domains[i] }
+
+// NumDomains returns the number of domains.
+func (s *Sharded) NumDomains() int { return len(s.domains) }
+
+// Now returns the engine clock: the cycle of the last fired event.
+func (s *Sharded) Now() uint64 { return s.now }
+
+// Shards returns the current shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Pending returns the number of queued events across all shards.
+func (s *Sharded) Pending() int {
+	total := 0
+	for i := range s.shards {
+		total += len(s.shards[i].heap)
+		for _, row := range s.shards[i].out {
+			total += len(row)
+		}
+	}
+	return total
+}
+
+// SetShards regroups the domains onto k shards (clamped to [1, domains]).
+// It must be called with no queued events — between Runs — because events
+// live in per-shard heaps. Results are identical at any k; only wall-clock
+// changes.
+func (s *Sharded) SetShards(k int) {
+	if s.Pending() != 0 {
+		panic("engine: SetShards with events queued")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s.domains) {
+		k = len(s.domains)
+	}
+	s.setShards(k)
+}
+
+func (s *Sharded) setShards(k int) {
+	s.shards = make([]shardState, k)
+	for i := range s.shards {
+		s.shards[i].out = make([][]sevent, k)
+		s.shards[i].now = s.now
+		s.shards[i].min = noEvent
+	}
+	for i := range s.domains {
+		s.domains[i].shard = int32(i % k)
+	}
+}
+
+// SetPacer installs (or, with fn == nil or every == 0, removes) the
+// boundary hook, armed at the first multiple of every strictly after the
+// current cycle. The pacer persists across Runs.
+func (s *Sharded) SetPacer(every uint64, fn func(boundary uint64)) {
+	if fn == nil || every == 0 {
+		s.pacer = nil
+		s.pacerEvery = 0
+		return
+	}
+	s.pacer = fn
+	s.pacerEvery = every
+	s.pacerNext = s.now - s.now%every + every
+}
+
+// Run fires events until every queue drains and returns the final cycle.
+func (s *Sharded) Run() uint64 {
+	if len(s.shards) == 1 {
+		return s.runSerial()
+	}
+	return s.runParallel()
+}
+
+func (s *Sharded) runSerial() uint64 {
+	sh := &s.shards[0]
+	for len(sh.heap) > 0 {
+		if s.pacer != nil {
+			for t := sh.heap[0].when; s.pacerNext <= t; {
+				b := s.pacerNext
+				s.pacerNext += s.pacerEvery
+				s.pacer(b)
+			}
+		}
+		ev := sh.pop()
+		sh.now = ev.when
+		s.now = ev.when
+		s.domains[ev.dst].sink.OnEvent(ev.kind, ev.a, ev.b)
+	}
+	return s.now
+}
+
+func (s *Sharded) runParallel() uint64 {
+	k := len(s.shards)
+	bar := newBarrier(uint64(k))
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w, bar)
+		}(w)
+	}
+	wg.Wait()
+	for i := range s.shards {
+		s.shards[i].now = s.now
+	}
+	return s.now
+}
+
+// worker advances one shard through lock-step rounds. Each round handles
+// exactly one timestamp t (the global minimum): fire all local events at
+// t, barrier, ingest cross-shard messages and republish the local minimum,
+// barrier. Because Send enforces a delay of >= 1, messages generated in
+// round t deliver at t+1 or later, so t never needs a second round.
+func (s *Sharded) worker(w int, bar *barrier) {
+	sh := &s.shards[w]
+	sh.min = sh.minWhen()
+	bar.wait()
+	for {
+		t := noEvent
+		for i := range s.shards {
+			if m := s.shards[i].min; m < t {
+				t = m
+			}
+		}
+		if t == noEvent {
+			return
+		}
+		if s.pacer != nil && s.pacerNext <= t {
+			// Every worker saw the same t and pacerNext, so all take this
+			// branch together; worker 0 fires the hook while the rest hold
+			// at the second barrier with their domains parked.
+			bar.wait()
+			if w == 0 {
+				for s.pacerNext <= t {
+					b := s.pacerNext
+					s.pacerNext += s.pacerEvery
+					s.pacer(b)
+				}
+			}
+			bar.wait()
+		}
+		sh.now = t
+		if w == 0 {
+			s.now = t
+		}
+		for len(sh.heap) > 0 && sh.heap[0].when == t {
+			ev := sh.pop()
+			s.domains[ev.dst].sink.OnEvent(ev.kind, ev.a, ev.b)
+		}
+		bar.wait()
+		for i := range s.shards {
+			src := &s.shards[i]
+			row := src.out[w]
+			for j := range row {
+				sh.push(row[j])
+			}
+			src.out[w] = row[:0]
+		}
+		sh.min = sh.minWhen()
+		bar.wait()
+	}
+}
+
+// barrier is a monotone-counter spin barrier: arrival n completes phase
+// n/size, and a waiter spins until its own phase completes. The counter
+// never resets, which avoids the classic sense-reversal race where a fast
+// worker laps a slow one.
+type barrier struct {
+	size   uint64
+	arrive atomic.Uint64
+}
+
+func newBarrier(size uint64) *barrier { return &barrier{size: size} }
+
+func (b *barrier) wait() {
+	a := b.arrive.Add(1)
+	target := (a + b.size - 1) / b.size * b.size
+	for spins := 0; b.arrive.Load() < target; spins++ {
+		if spins >= 64 {
+			// Beyond a short spin, yield: shard counts above the core
+			// count (or a loaded machine) must make progress, not burn the
+			// quantum.
+			runtime.Gosched()
+		}
+	}
+}

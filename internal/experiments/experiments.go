@@ -122,6 +122,24 @@ func parseRatio(s string) (int, error) {
 	return n, nil
 }
 
+// SchemeFactoryByName validates a scheme name once and returns a factory
+// building fresh instances of it — the form gpu.New consumes, since the
+// sharded L2 attaches one scheme instance per bank. The name grammar is
+// SchemeSyntax, exactly as SchemeByName.
+func SchemeFactoryByName(name string) (protection.Factory, error) {
+	if _, err := SchemeByName(name); err != nil {
+		return nil, err
+	}
+	return func() protection.Scheme {
+		s, err := SchemeByName(name)
+		if err != nil {
+			// Unreachable: the name was validated above and parsing is pure.
+			panic(err)
+		}
+		return s
+	}, nil
+}
+
 // SchemeSyntax is the single source of truth for the scheme-name grammar
 // accepted by SchemeByName. CLI -scheme flag help and README documentation
 // must quote it verbatim (pinned by TestSchemeSyntaxSingleSource) instead of
@@ -178,10 +196,18 @@ type Config struct {
 	WarmupKernels int
 	// Parallelism bounds the number of concurrently running simulations.
 	// 0 or 1 runs the sweep serially; higher values use a worker pool of
-	// that size; negative values mean GOMAXPROCS. Every task builds its
-	// own gpu.System and protection.Scheme and the merge order is fixed,
-	// so results are bit-for-bit identical at any parallelism.
+	// that size; negative values mean GOMAXPROCS divided by Shards (so
+	// shards x sweep workers stays budgeted against the machine). Every
+	// task builds its own gpu.System and protection schemes and the merge
+	// order is fixed, so results are bit-for-bit identical at any
+	// parallelism.
 	Parallelism int
+	// Shards is the intra-run shard count each simulation runs with
+	// (gpu.System.SetShards). Results are bit-identical at every value —
+	// the engine's lookahead barrier keeps per-domain event order
+	// canonical — so this knob, like Parallelism, trades only wall-clock.
+	// 0 or 1 is the serial fast path.
+	Shards int
 	// CacheDir, when non-empty, enables the content-addressed result cache
 	// (internal/simcache) rooted at that directory: every task result is
 	// keyed by a digest of its complete input description (GPU config,
@@ -214,8 +240,11 @@ func (c Config) withDefaults() Config {
 			c.Workloads = append(c.Workloads, w.Name)
 		}
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.Parallelism < 0 {
-		c.Parallelism = runtime.GOMAXPROCS(0)
+		c.Parallelism = max(1, runtime.GOMAXPROCS(0)/c.Shards)
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
@@ -382,17 +411,17 @@ func Run(cfg Config) ([]Row, error) {
 	var tasksDone atomic.Int64
 	runTask := func(t task) gpu.Result {
 		g := base
-		var scheme protection.Scheme
+		var newScheme protection.Factory
 		var schemeName string
 		var faults *gpu.SharedFaults
 		if t.scheme < 0 {
 			g.Voltage = 1.0
-			scheme = protection.NewNone()
+			newScheme = func() protection.Scheme { return protection.NewNone() }
 			schemeName = "none"
 			faults = faultsBase
 		} else {
 			g.Voltage = cfg.Voltage
-			scheme = specs[t.scheme].New()
+			newScheme = specs[t.scheme].New
 			schemeName = specs[t.scheme].Name
 			faults = faultsLV
 		}
@@ -409,7 +438,9 @@ func Run(cfg Config) ([]Row, error) {
 				return done(cachedResult(c))
 			}
 		}
-		res := runKernels(gpu.NewShared(g, scheme, faults), traces[t.workload])
+		sys := gpu.NewShared(g, newScheme, faults)
+		sys.SetShards(cfg.Shards)
+		res := runKernels(sys, traces[t.workload])
 		if store != nil {
 			// Best-effort: a full disk or read-only cache directory must
 			// not fail the sweep; Store.WriteFailures keeps it observable.
@@ -472,7 +503,7 @@ func Run(cfg Config) ([]Row, error) {
 // Run's kernel semantics: cfg.WarmupKernels unmeasured warmup kernels
 // precede the measured one, each re-walking the workload's data structures
 // in a fresh request order.
-func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage float64) (gpu.Result, error) {
+func RunOne(cfg Config, workloadName string, newScheme protection.Factory, voltage float64) (gpu.Result, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName(workloadName)
 	if err != nil {
@@ -481,7 +512,9 @@ func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage f
 	g := cfg.baseGPU()
 	g.Voltage = voltage
 	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
-	return runKernels(gpu.New(g, scheme), traces), nil
+	sys := gpu.New(g, newScheme)
+	sys.SetShards(cfg.Shards)
+	return runKernels(sys, traces), nil
 }
 
 // RunOneObserved is RunOne with an observability sink attached before the
@@ -490,7 +523,7 @@ func RunOne(cfg Config, workloadName string, scheme protection.Scheme, voltage f
 // gpu.DefaultEpochCycles). The simulated machine is bit-identical to the
 // unobserved RunOne — sampling only reads state — so the returned Result
 // matches RunOne exactly (pinned by TestGoldenCounterDigestObserved).
-func RunOneObserved(cfg Config, workloadName string, scheme protection.Scheme, voltage float64, o obs.Observer, epochCycles uint64) (gpu.Result, error) {
+func RunOneObserved(cfg Config, workloadName string, newScheme protection.Factory, voltage float64, o obs.Observer, epochCycles uint64) (gpu.Result, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName(workloadName)
 	if err != nil {
@@ -499,7 +532,8 @@ func RunOneObserved(cfg Config, workloadName string, scheme protection.Scheme, v
 	g := cfg.baseGPU()
 	g.Voltage = voltage
 	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
-	sys := gpu.New(g, scheme)
+	sys := gpu.New(g, newScheme)
+	sys.SetShards(cfg.Shards)
 	sys.SetObserver(o, epochCycles)
 	return runKernels(sys, traces), nil
 }

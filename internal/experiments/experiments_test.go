@@ -97,7 +97,7 @@ func TestSchemeNamesStable(t *testing.T) {
 
 func TestRunOne(t *testing.T) {
 	res, err := RunOne(Config{RequestsPerCU: 500, GPU: smallGPU()},
-		"lulesh", protection.NewSECDEDPerLine(), 0.625)
+		"lulesh", func() protection.Scheme { return protection.NewSECDEDPerLine() }, 0.625)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestRunOne(t *testing.T) {
 		t.Fatal("degenerate RunOne result")
 	}
 	if _, err := RunOne(Config{GPU: smallGPU(), RequestsPerCU: 10},
-		"nope", protection.NewNone(), 1.0); err == nil {
+		"nope", func() protection.Scheme { return protection.NewNone() }, 1.0); err == nil {
 		t.Fatal("unknown workload did not error")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"killi/internal/killi"
 	"killi/internal/obs"
+	"killi/internal/protection"
 )
 
 // TestGoldenCounterDigest hashes every counter name and value after a short
@@ -16,7 +17,7 @@ import (
 // statistic. The exact Result fields are pinned alongside.
 func TestGoldenCounterDigest(t *testing.T) {
 	res, err := RunOne(Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
-		killi.New(killi.Config{Ratio: 64}), 0.625)
+		func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 0.625)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,16 +25,16 @@ func TestGoldenCounterDigest(t *testing.T) {
 	for _, n := range res.Counters.Names() {
 		fmt.Fprintf(h, "%s=%d\n", n, res.Counters.Get(n))
 	}
-	const want = uint64(0xb727c485a3e75a1b)
+	const want = uint64(0x6cdf00dbcf931efb)
 	if got := h.Sum64(); got != want {
 		for _, n := range res.Counters.Names() {
 			t.Logf("%s=%d", n, res.Counters.Get(n))
 		}
 		t.Fatalf("counter digest = %#x, want %#x (a statistic changed)", got, want)
 	}
-	if res.Cycles != 23511 || res.Instructions != 12800 ||
-		res.L2Misses != 5803 || res.L2Accesses != 6363 ||
-		res.MemAccesses != 5803 || res.DisabledLines != 2 {
+	if res.Cycles != 26032 || res.Instructions != 12800 ||
+		res.L2Misses != 5796 || res.L2Accesses != 6361 ||
+		res.MemAccesses != 5796 || res.DisabledLines != 2 {
 		t.Fatalf("result fields diverged from golden: cycles=%d instrs=%d l2miss=%d l2acc=%d mem=%d disabled=%d",
 			res.Cycles, res.Instructions, res.L2Misses, res.L2Accesses,
 			res.MemAccesses, res.DisabledLines)
@@ -48,7 +49,7 @@ func TestGoldenCounterDigest(t *testing.T) {
 func TestGoldenCounterDigestObserved(t *testing.T) {
 	col := obs.NewCollector()
 	res, err := RunOneObserved(Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
-		killi.New(killi.Config{Ratio: 64}), 0.625, col, 0)
+		func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 0.625, col, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +57,11 @@ func TestGoldenCounterDigestObserved(t *testing.T) {
 	for _, n := range res.Counters.Names() {
 		fmt.Fprintf(h, "%s=%d\n", n, res.Counters.Get(n))
 	}
-	const want = uint64(0xb727c485a3e75a1b)
+	const want = uint64(0x6cdf00dbcf931efb)
 	if got := h.Sum64(); got != want {
 		t.Fatalf("observed-run counter digest = %#x, want %#x (observation perturbed the simulation)", got, want)
 	}
-	if res.Cycles != 23511 || res.DisabledLines != 2 {
+	if res.Cycles != 26032 || res.DisabledLines != 2 {
 		t.Fatalf("observed-run result diverged: cycles=%d disabled=%d", res.Cycles, res.DisabledLines)
 	}
 

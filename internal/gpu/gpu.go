@@ -5,7 +5,7 @@
 // from-scratch model of the parts that matter to the result: 8 compute
 // units issuing coalesced memory requests through per-CU L1 caches into a
 // banked, write-through, 16-way 2 MB shared L2 whose data array runs at low
-// voltage, backed by a latency/bandwidth DRAM model. Killi's performance
+// voltage, backed by per-bank DRAM channel queues. Killi's performance
 // effects — ECC-cache contention evictions, error-induced misses, disabled
 // lines — are all L2-level phenomena, so an address-stream-driven hierarchy
 // reproduces them; the compute pipeline only sets request arrival rates,
@@ -13,16 +13,24 @@
 //
 // Timing follows the paper's Table 3: 2-cycle L2 tag, 2-cycle L2 data,
 // 1-cycle SECDED/parity; the ECC cache's 1+1 cycle access is hidden under
-// the L2 data access and adds no hit latency.
+// the L2 data access and adds no hit latency. Every L2-side response pays
+// one response-network cycle back to the CU.
 //
-// The simulation hot paths are allocation-free in the steady state: counter
-// updates go through pre-interned stats handles, and the recurring events
-// (request issue, completion, L2 read, hit/fill completion) are fixed-size
-// structs drawn from a free list rather than per-event closures.
+// The machine is decomposed into engine domains — one per CU front-end
+// (with its L1) and one per address-interleaved L2 bank (tags, data slice,
+// per-bank ECC scheme instance, DRAM channel queue, stat counters) — that
+// communicate only through timed engine messages with at least one cycle
+// of latency. That structure lets engine.Sharded fire independent banks'
+// events in parallel while keeping every statistic and observer stream
+// bit-identical to the serial schedule at any shard count (see
+// System.SetShards). The simulation hot paths remain allocation-free in
+// the steady state: counter updates go through pre-interned stats handles
+// and events are fixed-size values inside the engine's per-shard heaps.
 package gpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"killi/internal/bitvec"
 	"killi/internal/cache"
@@ -73,7 +81,7 @@ type Config struct {
 	L2TagLat         uint64 // cycles
 	L2DataLat        uint64 // cycles
 	ECCLat           uint64 // SECDED/parity latency, cycles
-	L1Lat            uint64 // L1 hit latency, cycles
+	L1Lat            uint64 // L1 hit latency, cycles (>= 1: the CU-to-bank lookahead)
 	WindowPerCU      int    // outstanding-request window per CU
 	IssueIPC         float64
 	Mem              mem.Config
@@ -129,72 +137,115 @@ type Result struct {
 // MPKI returns the run's L2 misses per kilo-instruction.
 func (r Result) MPKI() float64 { return stats.MPKI(r.L2Misses, r.Instructions) }
 
-// System is one simulated GPU with an attached protection scheme.
-// Construct with New.
+// Event kinds. Each kind is interpreted by one domain type's sink.
+const (
+	// CU domain events.
+	ckRead       uint8 = iota // a trace read reaches the CU's L1 (a = addr)
+	ckWrite                   // a trace write reaches the CU's L1 (a = addr)
+	ckRetire                  // a request retires
+	ckRetireFill              // an L2/memory response arrives: fill L1, retire (a = addr)
+	// Bank domain events.
+	bkRead  // an L1 read miss arrives at the bank (a = addr, b = CU index)
+	bkStore // a write-through store arrives (a = addr, b = 1 if the store hit the CU's L1)
+	bkFill  // the bank's DRAM channel delivers a line (a = addr, b = CU index)
+)
+
+// System is one simulated GPU with an attached protection scheme (one
+// instance per L2 bank, built by the factory). Construct with New.
 type System struct {
-	cfg    Config
-	eng    engine.Engine
-	scheme protection.Scheme
+	cfg Config
+	eng *engine.Sharded
 
-	l2tags *cache.Cache
-	l2data *sram.Array
-	l1     []*cache.Cache
+	cus   []*cuDomain
+	banks []*bankDomain
 
-	memory *mem.Memory
-	// lineState packs, per line address, the write version (meaningful for
-	// lines whose version can still be observed: resident in some cache
-	// level or with an L2-side read in flight) together with the count of
-	// in-flight L2-side reads — from the L1 miss that schedules the L2 read
-	// until the hit or fill completes. A store during that window must
-	// advance the version because the fill evaluates memory content when it
-	// lands. Once the table outgrows versionsHighWater, entries that are no
-	// longer observable are pruned, bounding memory on streaming workloads
-	// across repeated Runs.
-	lineState         lineTable
-	versionsHighWater int
-	// lineData mirrors the true (fault-free) content of each resident L2
-	// line, so the SDC ground-truth check on read hits is an 8-word compare
-	// instead of a rehash. Invariant: while l2tags holds a valid entry at
-	// (set,way), lineData[LineID(set,way)] equals the current memContent of
-	// the resident address — installs and write-through updates maintain it,
-	// and a resident line's version can only advance through the store path
-	// in access(), which refreshes both copies.
-	lineData []bitvec.Line
-	bankFree []uint64
+	// Address-interleave geometry. effBanks is the usable bank count
+	// (L2Banks clamped to the set count); globalSets the whole-L2 set
+	// count. pow2 fast paths mirror cache.Cache's address slicing.
+	effBanks   int
+	globalSets int
+	lineShift  uint
+	pow2Sets   bool
+	setMask    uint64
+	setShift   uint
+	pow2Banks  bool
+	bankMask   uint64
+	bankShift  uint
 
-	ctr     stats.Counters
-	softRNG *xrand.Rand
-	replRNG *xrand.Rand
+	// ctr is the merged, externally visible counter set (Result.Counters
+	// points here); it is rebuilt from sysCtr and every domain's counters
+	// at Run boundaries and observer samples. sysCtr holds between-run
+	// system operations (voltage transitions, aging injection).
+	ctr    stats.Counters
+	sysCtr stats.Counters
 
 	// stallUntil gates request issue after a voltage transition whose
-	// scheme requires an offline MBIST pass.
+	// scheme requires an offline MBIST pass. Written only between Runs.
 	stallUntil uint64
 
-	cus []*cuState
-
-	eventPool  []*gpuEvent
-	wayScratch []int // victim candidates, sized to L2Ways
-
-	// instrsIssued accumulates instructions across all CUs and Runs, so
-	// the epoch sampler can report interval deltas without summing cus.
-	instrsIssued uint64
+	shards int
 
 	// observer is the attached observability sink (nil = off, the
-	// default; see SetObserver in obs.go). obsTicker is the daemon epoch
-	// sampler, created lazily on the first observed Run.
-	observer  obs.Observer
-	obsEpoch  uint64
-	obsTicker *obsTicker
+	// default; see SetObserver in obs.go).
+	observer   obs.Observer
+	obsEpoch   uint64
+	sampler    *obsSampler
+	obsScratch []bufferedObsEvent
 }
 
-type cuState struct {
-	id        int
+// cuDomain is one compute unit front-end: trace issue window plus its
+// private L1. All its state is touched only by its own engine domain.
+type cuDomain struct {
+	sys *System
+	d   *engine.Domain
+	id  int
+	l1  *cache.Cache
+	ctr stats.Counters
+
 	trace     []workload.Request
 	idx       int
 	inflight  int
 	lastIssue uint64
 	started   bool
-	instrs    uint64
+	instrs    uint64 // this Run
+	// instrsTotal accumulates across Runs for the epoch sampler.
+	instrsTotal uint64
+}
+
+// bankDomain is one address-interleaved L2 bank: its slice of the tag and
+// data arrays, its own protection-scheme instance, line-state table, DRAM
+// channel queue, RNG streams, and stat counters. It implements
+// protection.Host for its scheme. All state is domain-private.
+type bankDomain struct {
+	sys  *System
+	d    *engine.Domain
+	bank int
+
+	tags   *cache.Cache // localSets x ways, addressed by (localSet, global tag)
+	data   *sram.Array  // strided view of the shared fault map
+	scheme protection.Scheme
+	mem    *mem.Memory // this bank's DRAM channel queue
+
+	// lineState packs, per line address served by this bank, the write
+	// version together with the count of in-flight fetches; see the
+	// monolithic predecessor's commentary in linetable.go. Versions are
+	// observable while the line is resident in this bank or being fetched.
+	lineState         lineTable
+	versionsHighWater int
+	// lineData mirrors the true (fault-free) content of each resident
+	// line, indexed by bank-local line ID, for the SDC ground-truth check.
+	lineData []bitvec.Line
+
+	free uint64 // bank pipeline busy-until cycle
+
+	ctr        stats.Counters
+	softRNG    *xrand.Rand
+	replRNG    *xrand.Rand
+	wayScratch []int
+
+	// obsBuf buffers scheme emissions for deterministic cross-bank
+	// ordering; nil while no observer is attached (see obs.go).
+	obsBuf *bankObserver
 }
 
 // SharedFaults bundles a persistent fault map with its voltage-resolved
@@ -216,18 +267,20 @@ func BuildSharedFaults(cfg Config) *SharedFaults {
 	if refV == 0 {
 		refV = cfg.Voltage
 	}
-	// Same rounding as the tag-array geometry (sets × ways), so the map is
-	// bit-identical to the one a private System would sample.
+	// Same rounding as the tag-array geometry (sets x ways), so the map is
+	// bit-identical to the one a private System would sample. The map is
+	// indexed by whole-L2 line ID; banks view it through strided slices.
 	lines := (cfg.L2Bytes / cfg.LineBytes / cfg.L2Ways) * cfg.L2Ways
 	fm := faultmodel.NewMap(xrand.New(cfg.FaultSeed), cfg.FaultModel,
 		lines, bitvec.LineBits, refV, cfg.FreqGHz)
 	return &SharedFaults{Map: fm, Resolved: fm.Resolve(cfg.Voltage)}
 }
 
-// New builds a system with the given configuration and protection scheme.
-// The scheme is attached and Reset at the configured voltage.
-func New(cfg Config, scheme protection.Scheme) *System {
-	return NewShared(cfg, scheme, nil)
+// New builds a system with the given configuration; newScheme constructs
+// one protection-scheme instance per L2 bank, each attached and Reset at
+// the configured voltage.
+func New(cfg Config, newScheme protection.Factory) *System {
+	return NewShared(cfg, newScheme, nil)
 }
 
 // NewShared builds a system over a pre-built fault population (nil falls
@@ -235,93 +288,293 @@ func New(cfg Config, scheme protection.Scheme) *System {
 // resolved view are read-only; the System never mutates them, so one
 // SharedFaults can serve concurrent simulations. The view's voltage must
 // match cfg.Voltage and the map must cover the L2.
-func NewShared(cfg Config, scheme protection.Scheme, shared *SharedFaults) *System {
+func NewShared(cfg Config, newScheme protection.Factory, shared *SharedFaults) *System {
 	if cfg.CUs <= 0 || cfg.L2Banks <= 0 || cfg.WindowPerCU <= 0 {
 		panic("gpu: invalid configuration")
 	}
-	l2Sets := cfg.L2Bytes / cfg.LineBytes / cfg.L2Ways
+	if cfg.L1Lat < 1 {
+		panic("gpu: L1Lat must be >= 1 (it is the CU-to-bank message latency)")
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("gpu: LineBytes must be a positive power of two")
+	}
+	globalSets := cfg.L2Bytes / cfg.LineBytes / cfg.L2Ways
+	effBanks := cfg.L2Banks
+	if effBanks > globalSets {
+		effBanks = globalSets
+	}
+	if globalSets%effBanks != 0 {
+		panic(fmt.Sprintf("gpu: %d L2 sets not divisible across %d banks", globalSets, effBanks))
+	}
 	s := &System{
-		cfg:      cfg,
-		scheme:   scheme,
-		l2tags:   cache.New(cache.Config{Sets: l2Sets, Ways: cfg.L2Ways, LineBytes: cfg.LineBytes}),
-		memory:   mem.New(cfg.Mem),
-		bankFree: make([]uint64, cfg.L2Banks),
-		softRNG:  xrand.New(cfg.FaultSeed ^ 0x5eed50f7),
-		replRNG:  xrand.New(cfg.FaultSeed ^ 0xbe91ace5eed),
+		cfg:        cfg,
+		effBanks:   effBanks,
+		globalSets: globalSets,
+		lineShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		shards:     1,
+	}
+	if globalSets&(globalSets-1) == 0 {
+		s.pow2Sets = true
+		s.setMask = uint64(globalSets - 1)
+		s.setShift = uint(bits.TrailingZeros(uint(globalSets)))
+	}
+	if effBanks&(effBanks-1) == 0 {
+		s.pow2Banks = true
+		s.bankMask = uint64(effBanks - 1)
+		s.bankShift = uint(bits.TrailingZeros(uint(effBanks)))
 	}
 	if shared == nil {
 		shared = BuildSharedFaults(cfg)
 	}
-	if shared.Map.Lines() < s.l2tags.Config().Lines() {
+	totalLines := globalSets * cfg.L2Ways
+	if shared.Map.Lines() < totalLines {
 		panic(fmt.Sprintf("gpu: shared fault map covers %d lines, L2 has %d",
-			shared.Map.Lines(), s.l2tags.Config().Lines()))
+			shared.Map.Lines(), totalLines))
 	}
 	if shared.Resolved.Voltage() != cfg.Voltage {
 		panic(fmt.Sprintf("gpu: shared fault view resolved at %v, system runs at %v",
 			shared.Resolved.Voltage(), cfg.Voltage))
 	}
-	s.l2data = sram.NewResolved(s.l2tags.Config().Lines(), shared.Map, shared.Resolved)
-	s.lineData = make([]bitvec.Line, s.l2tags.Config().Lines())
-	s.versionsHighWater = 4 * s.l2tags.Config().Lines()
-	s.wayScratch = make([]int, cfg.L2Ways)
+
+	s.eng = engine.NewSharded(cfg.CUs + effBanks)
+
 	l1Sets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Ways
-	s.l1 = make([]*cache.Cache, cfg.CUs)
-	for i := range s.l1 {
-		s.l1[i] = cache.New(cache.Config{Sets: l1Sets, Ways: cfg.L1Ways, LineBytes: cfg.LineBytes})
+	s.cus = make([]*cuDomain, cfg.CUs)
+	for i := range s.cus {
+		c := &cuDomain{
+			sys: s,
+			d:   s.eng.Domain(i),
+			id:  i,
+			l1:  cache.New(cache.Config{Sets: l1Sets, Ways: cfg.L1Ways, LineBytes: cfg.LineBytes}),
+		}
+		c.d.Bind(c)
+		s.cus[i] = c
 	}
-	scheme.Attach(s)
-	scheme.Reset(cfg.Voltage)
+
+	localSets := globalSets / effBanks
+	bankLines := localSets * cfg.L2Ways
+	s.banks = make([]*bankDomain, effBanks)
+	for i := range s.banks {
+		b := &bankDomain{
+			sys:  s,
+			d:    s.eng.Domain(cfg.CUs + i),
+			bank: i,
+			tags: cache.New(cache.Config{Sets: localSets, Ways: cfg.L2Ways, LineBytes: cfg.LineBytes}),
+			data: sram.NewResolvedView(bankLines, shared.Map, shared.Resolved,
+				cfg.L2Ways, effBanks, i),
+			// Each bank owns a DRAM channel queue; scaling the completion
+			// gap by the bank count keeps whole-GPU peak bandwidth equal
+			// to the configured mem.Config.
+			mem: mem.New(mem.Config{
+				LatencyCycles: orDefault(cfg.Mem).LatencyCycles,
+				GapCycles:     orDefault(cfg.Mem).GapCycles * uint64(effBanks),
+			}),
+			versionsHighWater: 4 * bankLines,
+			lineData:          make([]bitvec.Line, bankLines),
+			softRNG:           xrand.New(cfg.FaultSeed ^ 0x5eed50f7 ^ (uint64(i)+1)*0x9e3779b97f4a7c15),
+			replRNG:           xrand.New(cfg.FaultSeed ^ 0xbe91ace5eed ^ (uint64(i)+1)*0xda942042e4dd58b5),
+			wayScratch:        make([]int, cfg.L2Ways),
+		}
+		b.d.Bind(b)
+		s.banks[i] = b
+	}
+	for _, b := range s.banks {
+		b.scheme = newScheme()
+		b.scheme.Attach(b)
+		b.scheme.Reset(cfg.Voltage)
+	}
 	return s
 }
 
-// --- protection.Host implementation ---
+func orDefault(c mem.Config) mem.Config {
+	if c.LatencyCycles == 0 {
+		return mem.DefaultConfig()
+	}
+	return c
+}
 
-// Tags implements protection.Host.
-func (s *System) Tags() *cache.Cache { return s.l2tags }
+// --- geometry ---
 
-// Data implements protection.Host.
-func (s *System) Data() *sram.Array { return s.l2data }
+// split decomposes an address into its owning bank, the bank-local set,
+// and the global tag (which uniquely identifies the address within that
+// (bank, local set) pair).
+func (s *System) split(addr uint64) (bank, localSet int, tag uint64) {
+	line := addr >> s.lineShift
+	var gset uint64
+	if s.pow2Sets {
+		gset = line & s.setMask
+		tag = line >> s.setShift
+	} else {
+		gset = line % uint64(s.globalSets)
+		tag = line / uint64(s.globalSets)
+	}
+	if s.pow2Banks {
+		bank = int(gset & s.bankMask)
+		localSet = int(gset >> s.bankShift)
+	} else {
+		bank = int(gset % uint64(s.effBanks))
+		localSet = int(gset / uint64(s.effBanks))
+	}
+	return bank, localSet, tag
+}
+
+// globalLineID maps a bank-local dense line ID to the whole-L2 line ID
+// (the index space of fault maps and observer transition events).
+func (b *bankDomain) globalLineID(localID int) int {
+	ways := b.sys.cfg.L2Ways
+	localSet := localID / ways
+	way := localID % ways
+	return (localSet*b.sys.effBanks+b.bank)*ways + way
+}
+
+// --- shard control ---
+
+// SetShards selects how many engine shards (worker goroutines) the next
+// Run uses; domains are distributed round-robin. Results are bit-identical
+// at every shard count — the engine's lookahead barrier fires each
+// domain's events in canonical order regardless of grouping — so the knob
+// trades only wall-clock. K = 1 (the default) is the serial fast path.
+// Must be called between Runs.
+func (s *System) SetShards(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.eng.SetShards(k)
+	s.shards = s.eng.Shards()
+}
+
+// Shards returns the effective shard count (after clamping to the domain
+// count).
+func (s *System) Shards() int { return s.shards }
+
+// --- protection.Host implementation (per bank) ---
+
+// Tags implements protection.Host: the bank's slice of the L2 tag array.
+func (b *bankDomain) Tags() *cache.Cache { return b.tags }
+
+// Data implements protection.Host: the bank's slice of the low-voltage
+// data array.
+func (b *bankDomain) Data() *sram.Array { return b.data }
 
 // SchemeInvalidate implements protection.Host.
-func (s *System) SchemeInvalidate(set, way int) {
-	if s.l2tags.Entry(set, way).Valid {
-		s.ctr.IncC(cSchemeInvalidations)
-		s.l2tags.Invalidate(set, way)
+func (b *bankDomain) SchemeInvalidate(set, way int) {
+	if b.tags.Entry(set, way).Valid {
+		b.ctr.IncC(cSchemeInvalidations)
+		b.tags.Invalidate(set, way)
 	}
 }
 
-// Stats implements protection.Host.
-func (s *System) Stats() *stats.Counters { return &s.ctr }
+// Stats implements protection.Host: the bank's private counter set, merged
+// into the System totals at Run boundaries.
+func (b *bankDomain) Stats() *stats.Counters { return &b.ctr }
+
+// Now implements protection.Host: the bank's current cycle.
+func (b *bankDomain) Now() uint64 { return b.d.Now() }
+
+// --- system-level operations (between Runs) ---
 
 // SetVoltage transitions the L2 data array to a new operating point
-// between kernels: active persistent faults are recomputed, the protection
+// between kernels: active persistent faults are recomputed, every bank
 // scheme's fault knowledge is reset, and the cache stalls for stallCycles
 // — the offline MBIST pre-characterization pass that pre-trained schemes
 // need at every transition, and that Killi's runtime classification makes
 // zero (the paper's headline deployment argument).
 func (s *System) SetVoltage(vNorm float64, stallCycles uint64) {
 	s.cfg.Voltage = vNorm
-	s.l2data.SetVoltage(vNorm)
-	s.scheme.Reset(vNorm)
+	for _, b := range s.banks {
+		b.data.SetVoltage(vNorm)
+		b.scheme.Reset(vNorm)
+	}
 	s.stallUntil = s.eng.Now() + stallCycles
-	s.ctr.IncC(cVoltageTransitions)
-	s.ctr.AddC(cTransitionStall, stallCycles)
+	s.sysCtr.IncC(cVoltageTransitions)
+	s.sysCtr.AddC(cTransitionStall, stallCycles)
 }
 
 // Voltage returns the L2 data array's current normalized voltage.
 func (s *System) Voltage() float64 { return s.cfg.Voltage }
 
+// Stats merges the per-domain counter sets and returns the system's
+// cumulative counters. Call only between Runs.
+func (s *System) Stats() *stats.Counters {
+	s.mergeCounters()
+	return &s.ctr
+}
+
+// L2Lines returns the total L2 line count across banks.
+func (s *System) L2Lines() int { return s.globalSets * s.cfg.L2Ways }
+
+// DisabledLines returns the current disabled-line count across banks.
+func (s *System) DisabledLines() int {
+	n := 0
+	for _, b := range s.banks {
+		n += b.tags.DisabledLines()
+	}
+	return n
+}
+
+// SchemeProbe returns one of the per-bank scheme instances, for callers
+// that need to inspect the scheme's type or static configuration (e.g.
+// MBIST-need classification). All banks hold identically configured
+// instances.
+func (s *System) SchemeProbe() protection.Scheme { return s.banks[0].scheme }
+
+// ECCStats sums ECC-cache occupancy and capacity across the per-bank
+// scheme instances; ok reports whether the scheme exposes an ECC cache at
+// all (Killi does, the baselines do not).
+func (s *System) ECCStats() (occupancy, entries int, ok bool) {
+	for _, b := range s.banks {
+		p, is := b.scheme.(eccProber)
+		if !is {
+			return 0, 0, false
+		}
+		occupancy += p.ECCOccupancy()
+		entries += p.ECCEntries()
+	}
+	return occupancy, entries, true
+}
+
 // InjectAgingFaults sprinkles n new persistent stuck-at faults uniformly
 // over the data array, modeling wear-out accumulating between kernels.
 // Killi discovers them as post-training errors and relearns the affected
 // lines; MBIST schemes stay blind until their next characterization pass.
+// The RNG stream draws whole-L2 line IDs, so the fault population is
+// independent of the bank decomposition.
 func (s *System) InjectAgingFaults(seed uint64, n int) {
 	r := xrand.New(seed)
-	lines := s.l2tags.Config().Lines()
+	ways := s.cfg.L2Ways
+	lines := s.L2Lines()
 	for i := 0; i < n; i++ {
-		s.l2data.InjectPersistentFault(r.Intn(lines), r.Intn(bitvec.LineBits), uint(r.Uint64()&1))
+		g := r.Intn(lines)
+		bit := r.Intn(bitvec.LineBits)
+		stuck := uint(r.Uint64() & 1)
+		gset := g / ways
+		way := g % ways
+		b := s.banks[gset%s.effBanks]
+		b.data.InjectPersistentFault((gset/s.effBanks)*ways+way, bit, stuck)
 	}
-	s.ctr.AddC(cAgingFaults, uint64(n))
+	s.sysCtr.AddC(cAgingFaults, uint64(n))
+}
+
+// mergeCounters rebuilds the merged counter view from the system counters
+// and every domain's private set, in fixed order. Addition commutes, so
+// the merged values are independent of shard count and scheduling.
+func (s *System) mergeCounters() {
+	s.ctr.Reset()
+	s.ctr.MergeFrom(&s.sysCtr)
+	for _, c := range s.cus {
+		s.ctr.MergeFrom(&c.ctr)
+	}
+	for _, b := range s.banks {
+		s.ctr.MergeFrom(&b.ctr)
+	}
+}
+
+func (s *System) memReads() uint64 {
+	var n uint64
+	for _, b := range s.banks {
+		n += b.mem.Accesses()
+	}
+	return n
 }
 
 // --- data content model ---
@@ -342,139 +595,51 @@ func lineContent(addr uint64, version uint32) bitvec.Line {
 	return l
 }
 
-// memContent returns the current true content of a line address.
-func (s *System) memContent(lineAddr uint64) bitvec.Line {
-	return lineContent(lineAddr, packedVersion(s.lineState.get(lineAddr)))
+// memContent returns the current true content of a line address. Any given
+// line address is always served by the same bank, so the version lives in
+// exactly one lineState table.
+func (b *bankDomain) memContent(lineAddr uint64) bitvec.Line {
+	return lineContent(lineAddr, packedVersion(b.lineState.get(lineAddr)))
 }
 
-// observableElsewhere reports whether a line's version can be observed
-// through a cache level other than the querying CU's own L1, or through an
-// in-flight L2-side read. Stores to unobservable lines skip the version
-// bump: no resident copy exists and no pending fill will evaluate the
-// content, so the pseudo-random line a future fetch generates is equally
-// arbitrary either way.
-func (s *System) observableElsewhere(lineAddr uint64, exceptCU int) bool {
-	if packedPending(s.lineState.get(lineAddr)) > 0 {
-		return true
-	}
-	addr := lineAddr * uint64(s.cfg.LineBytes)
-	for i, l1 := range s.l1 {
-		if i == exceptCU {
-			continue
-		}
-		if _, hit := l1.Lookup(l1.Index(addr), l1.Tag(addr)); hit {
-			return true
-		}
-	}
-	return false
-}
-
-// resident reports whether any cache level holds the line.
-func (s *System) resident(lineAddr uint64) bool {
-	addr := lineAddr * uint64(s.cfg.LineBytes)
-	if _, hit := s.l2tags.Lookup(s.l2tags.Index(addr), s.l2tags.Tag(addr)); hit {
-		return true
-	}
-	for _, l1 := range s.l1 {
-		if _, hit := l1.Lookup(l1.Index(addr), l1.Tag(addr)); hit {
-			return true
-		}
-	}
-	return false
-}
-
-// pruneLines rebuilds the line-state table without entries for lines that
-// are no longer observable (not resident in any cache level and with no
-// read in flight) once it exceeds its high-water mark (4x the L2 line
-// count), bounding memory across repeated Runs on streaming workloads.
-// Survivors keep their exact packed state, and the table never shrinks
-// below the capacity the run has already justified, so a prune cannot
-// perturb simulation results beyond the documented version reset on
-// unobservable lines.
-func (s *System) pruneLines() {
-	if s.lineState.live <= s.versionsHighWater {
+// pruneLines rebuilds the bank's line-state table without entries for
+// lines that are no longer observable (not resident in this bank and with
+// no fetch in flight) once it exceeds its high-water mark (4x the bank
+// line count), bounding memory across repeated Runs on streaming
+// workloads. Survivors keep their exact packed state.
+func (b *bankDomain) pruneLines() {
+	if b.lineState.live <= b.versionsHighWater {
 		return
 	}
-	old := s.lineState
-	s.lineState.init(len(old.keys))
+	old := b.lineState
+	b.lineState.init(len(old.keys))
 	for i, k := range old.keys {
 		if k == 0 {
 			continue
 		}
 		lineAddr := k - 1
 		v := old.vals[i]
-		if packedPending(v) > 0 || s.resident(lineAddr) {
-			*s.lineState.ref(lineAddr) = v
+		if packedPending(v) > 0 || b.resident(lineAddr) {
+			*b.lineState.ref(lineAddr) = v
 		}
 	}
-	s.ctr.IncC(cVersionPrunes)
+	b.ctr.IncC(cVersionPrunes)
 }
 
-// pendingDec retires one in-flight L2-side read for a line address. The
-// count is decremented to zero rather than removed — table rebuilds on
-// every retire would show up in sweep profiles, and every reader treats a
-// zero count as absent. Dead entries are swept out wholesale by pruneLines
-// once the table outgrows its high-water mark.
-func (s *System) pendingDec(lineAddr uint64) {
-	p := s.lineState.ref(lineAddr)
+// resident reports whether this bank holds the line.
+func (b *bankDomain) resident(lineAddr uint64) bool {
+	_, lset, tag := b.sys.split(lineAddr << b.sys.lineShift)
+	_, hit := b.tags.Lookup(lset, tag)
+	return hit
+}
+
+// pendingDec retires one in-flight fetch for a line address. The count is
+// decremented to zero rather than removed; dead entries are swept out
+// wholesale by pruneLines once the table outgrows its high-water mark.
+func (b *bankDomain) pendingDec(lineAddr uint64) {
+	p := b.lineState.ref(lineAddr)
 	*p = *p&^0xFFFFFFFF | uint64(uint32(*p)-1)
-	s.pruneLines()
-}
-
-// --- event plumbing ---
-
-// Event kinds for the free-listed simulation events.
-const (
-	evAccess   uint8 = iota // a CU request reaches its L1
-	evComplete              // a request retires after a fixed latency
-	evL2Read                // an L1 miss reaches the L2 bank
-	evHitDone               // an L2 hit's data returns: fill L1, retire
-	evFillDone              // a memory fetch lands: install L2, fill L1, retire
-)
-
-// gpuEvent is a reusable simulation event. The recurring per-request events
-// flow through a free list on the System, so the steady-state simulation
-// loop performs no per-event allocation.
-type gpuEvent struct {
-	s     *System
-	cu    *cuState
-	addr  uint64
-	kind  uint8
-	write bool
-}
-
-// Fire implements engine.Handler. The event returns itself to the pool
-// before dispatching, so the handlers it schedules can reuse it.
-func (e *gpuEvent) Fire() {
-	s, cu, addr, kind, write := e.s, e.cu, e.addr, e.kind, e.write
-	s.eventPool = append(s.eventPool, e)
-	switch kind {
-	case evAccess:
-		s.access(cu, addr, write)
-	case evComplete:
-		s.complete(cu)
-	case evL2Read:
-		s.l2Read(cu, addr)
-	case evHitDone:
-		s.pendingDec(addr / uint64(s.cfg.LineBytes))
-		s.l1Fill(cu.id, addr)
-		s.complete(cu)
-	case evFillDone:
-		s.fillDone(cu, addr)
-	}
-}
-
-// schedule queues a free-listed event delay cycles from now.
-func (s *System) schedule(delay uint64, kind uint8, cu *cuState, addr uint64, write bool) {
-	var e *gpuEvent
-	if n := len(s.eventPool); n > 0 {
-		e = s.eventPool[n-1]
-		s.eventPool = s.eventPool[:n-1]
-	} else {
-		e = &gpuEvent{s: s}
-	}
-	e.cu, e.addr, e.kind, e.write = cu, addr, kind, write
-	s.eng.ScheduleHandler(delay, e)
+	b.pruneLines()
 }
 
 // --- simulation ---
@@ -493,204 +658,256 @@ func (s *System) Run(traces [][]workload.Request) Result {
 		panic(fmt.Sprintf("gpu: %d traces for %d CUs", len(traces), s.cfg.CUs))
 	}
 	startCycle := s.eng.Now()
+	s.mergeCounters()
 	snap := s.ctr.Snapshot()
-	startMem := s.memory.Accesses()
+	startMem := s.memReads()
 	if s.observer != nil {
 		s.startObserver()
 	}
-	s.cus = make([]*cuState, s.cfg.CUs)
-	for i := range s.cus {
-		s.cus[i] = &cuState{id: i, trace: traces[i]}
-		s.issueMore(s.cus[i])
+	for i, c := range s.cus {
+		c.trace = traces[i]
+		c.idx = 0
+		c.inflight = 0
+		c.lastIssue = 0
+		c.started = false
+		c.instrs = 0
+		c.issueMore()
 	}
 	cycles := s.eng.Run()
 	if s.observer != nil {
 		s.flushObserver()
 	}
+	s.mergeCounters()
 	res := Result{
-		Cycles:      cycles - startCycle,
-		L2Misses:    s.ctr.Since(snap, "l2.read_misses") + s.ctr.Since(snap, "l2.error_misses"),
-		L2Accesses:  s.ctr.Since(snap, "l2.accesses"),
-		MemAccesses: s.memory.Accesses() - startMem,
-		Counters:    &s.ctr,
+		Cycles:        cycles - startCycle,
+		L2Misses:      s.ctr.Since(snap, "l2.read_misses") + s.ctr.Since(snap, "l2.error_misses"),
+		L2Accesses:    s.ctr.Since(snap, "l2.accesses"),
+		MemAccesses:   s.memReads() - startMem,
+		DisabledLines: s.DisabledLines(),
+		Counters:      &s.ctr,
 	}
-	for _, cu := range s.cus {
-		res.Instructions += cu.instrs
+	for _, c := range s.cus {
+		res.Instructions += c.instrs
 	}
-	res.DisabledLines = s.l2tags.DisabledLines()
 	return res
+}
+
+// --- CU domain ---
+
+// OnEvent implements engine.EventSink for a CU front-end.
+func (c *cuDomain) OnEvent(kind uint8, a, b uint64) {
+	switch kind {
+	case ckRead:
+		c.read(a)
+	case ckWrite:
+		c.write(a)
+	case ckRetire:
+		c.complete()
+	case ckRetireFill:
+		c.l1Fill(a)
+		c.complete()
+	}
 }
 
 // issueMore launches trace requests for a CU until its window fills or the
 // trace ends. Issue spacing models compute between accesses:
 // instructions-per-access divided by the CU's issue IPC.
-func (s *System) issueMore(cu *cuState) {
-	for cu.inflight < s.cfg.WindowPerCU && cu.idx < len(cu.trace) {
-		req := cu.trace[cu.idx]
-		cu.idx++
-		cu.inflight++
-		gap := uint64(float64(req.Instrs) / s.cfg.IssueIPC)
-		issueAt := s.eng.Now()
-		if issueAt < s.stallUntil {
-			issueAt = s.stallUntil
+func (c *cuDomain) issueMore() {
+	now := c.d.Now()
+	for c.inflight < c.sys.cfg.WindowPerCU && c.idx < len(c.trace) {
+		req := c.trace[c.idx]
+		c.idx++
+		c.inflight++
+		gap := uint64(float64(req.Instrs) / c.sys.cfg.IssueIPC)
+		issueAt := now
+		if issueAt < c.sys.stallUntil {
+			issueAt = c.sys.stallUntil
 		}
-		if cu.started && cu.lastIssue+gap > issueAt {
-			issueAt = cu.lastIssue + gap
+		if c.started && c.lastIssue+gap > issueAt {
+			issueAt = c.lastIssue + gap
 		}
-		cu.started = true
-		cu.lastIssue = issueAt
-		cu.instrs += uint64(req.Instrs)
-		s.instrsIssued += uint64(req.Instrs)
-		s.schedule(issueAt-s.eng.Now(), evAccess, cu, req.Addr, req.Write)
+		c.started = true
+		c.lastIssue = issueAt
+		c.instrs += uint64(req.Instrs)
+		c.instrsTotal += uint64(req.Instrs)
+		kind := ckRead
+		if req.Write {
+			kind = ckWrite
+		}
+		c.d.After(issueAt-now, kind, req.Addr, 0)
 	}
 }
 
-// complete retires one in-flight request for a CU and refills its window.
-func (s *System) complete(cu *cuState) {
-	cu.inflight--
-	s.issueMore(cu)
+// complete retires one in-flight request and refills the window.
+func (c *cuDomain) complete() {
+	c.inflight--
+	c.issueMore()
 }
 
-// access starts one memory request at the current cycle.
-func (s *System) access(cu *cuState, addr uint64, write bool) {
-	lineAddr := addr / uint64(s.cfg.LineBytes)
-	l1 := s.l1[cu.id]
-	l1Set := l1.Index(addr)
-	l1Tag := l1.Tag(addr)
-
-	if write {
-		s.ctr.IncC(cL1Writes)
-		// Write-through, no-allocate at both levels; the store retires
-		// without a completion dependency. The version advances only when
-		// some cached copy or in-flight fill can observe the new value.
-		l1Way, l1Hit := l1.Lookup(l1Set, l1Tag)
-		l2Set := s.l2tags.Index(addr)
-		l2Tag := s.l2tags.Tag(addr)
-		l2Way, l2Hit := s.l2tags.Lookup(l2Set, l2Tag)
-		if l1Hit || l2Hit || s.observableElsewhere(lineAddr, cu.id) {
-			*s.lineState.ref(lineAddr) += 1 << 32
-			s.pruneLines()
-		}
-		if l1Hit {
-			l1.Touch(l1Set, l1Way)
-		}
-		if l2Hit {
-			s.ctr.IncC(cWriteUpdates)
-			s.l2tags.Touch(l2Set, l2Way)
-			id := s.l2tags.LineID(l2Set, l2Way)
-			newData := s.memContent(lineAddr)
-			s.l2data.Write(id, newData)
-			s.lineData[id] = newData
-			s.scheme.OnWriteHit(l2Set, l2Way, newData)
-		}
-		s.memory.AccessWrite(s.eng.Now())
-		s.schedule(s.cfg.L1Lat, evComplete, cu, 0, false)
+// read starts one load at the current cycle: L1 hit retires locally, a
+// miss posts a read message to the owning L2 bank.
+func (c *cuDomain) read(addr uint64) {
+	c.ctr.IncC(cL1Reads)
+	set := c.l1.Index(addr)
+	if way, hit := c.l1.Lookup(set, c.l1.Tag(addr)); hit {
+		c.ctr.IncC(cL1Hits)
+		c.l1.Touch(set, way)
+		c.d.After(c.sys.cfg.L1Lat, ckRetire, 0, 0)
 		return
 	}
+	bank, _, _ := c.sys.split(addr)
+	c.d.Send(c.sys.banks[bank].d, c.sys.cfg.L1Lat, bkRead, addr, uint64(c.id))
+}
 
-	s.ctr.IncC(cL1Reads)
-	if way, hit := l1.Lookup(l1Set, l1Tag); hit {
-		s.ctr.IncC(cL1Hits)
-		l1.Touch(l1Set, way)
-		s.schedule(s.cfg.L1Lat, evComplete, cu, 0, false)
+// write starts one store: write-through, no-allocate at both levels; the
+// store retires after the L1 latency without a completion dependency,
+// while the update travels to the bank as a posted message.
+func (c *cuDomain) write(addr uint64) {
+	c.ctr.IncC(cL1Writes)
+	set := c.l1.Index(addr)
+	var l1Hit uint64
+	if way, hit := c.l1.Lookup(set, c.l1.Tag(addr)); hit {
+		c.l1.Touch(set, way)
+		l1Hit = 1
+	}
+	c.d.After(c.sys.cfg.L1Lat, ckRetire, 0, 0)
+	bank, _, _ := c.sys.split(addr)
+	c.d.Send(c.sys.banks[bank].d, c.sys.cfg.L1Lat, bkStore, addr, l1Hit)
+}
+
+// l1Fill installs a line into the CU's L1 (plain LRU, no protection — the
+// paper's scope is the L2).
+func (c *cuDomain) l1Fill(addr uint64) {
+	set := c.l1.Index(addr)
+	tag := c.l1.Tag(addr)
+	if _, hit := c.l1.Lookup(set, tag); hit {
 		return
 	}
-	// L1 miss: go to the L2 bank. The line has an observer from here until
-	// the hit or fill completes.
-	p := s.lineState.ref(lineAddr)
-	*p = *p&^0xFFFFFFFF | uint64(uint32(*p)+1)
-	s.schedule(s.cfg.L1Lat, evL2Read, cu, addr, false)
-}
-
-// bankStart reserves the L2 bank serving addr and returns the cycle at
-// which the access begins (bank conflicts delay it).
-func (s *System) bankStart(addr uint64) uint64 {
-	set := s.l2tags.Index(addr)
-	bank := set % s.cfg.L2Banks
-	start := s.eng.Now()
-	if s.bankFree[bank] > start {
-		start = s.bankFree[bank]
+	way, ok := c.l1.Victim(set, nil)
+	if !ok {
+		return
 	}
-	s.bankFree[bank] = start + s.cfg.L2TagLat + s.cfg.L2DataLat
-	return start
+	c.l1.Install(set, way, tag)
 }
 
-// l2Read performs the L2 read pipeline for one request.
-func (s *System) l2Read(cu *cuState, addr uint64) {
-	s.ctr.IncC(cL2Accesses)
-	start := s.bankStart(addr)
-	set := s.l2tags.Index(addr)
-	tag := s.l2tags.Tag(addr)
+// --- bank domain ---
 
-	if s.cfg.TagSoftErrorPerLookup > 0 && s.softRNG.Bernoulli(s.cfg.TagSoftErrorPerLookup) {
+// OnEvent implements engine.EventSink for an L2 bank.
+func (b *bankDomain) OnEvent(kind uint8, a, bb uint64) {
+	switch kind {
+	case bkRead:
+		b.read(a, int(bb))
+	case bkStore:
+		b.store(a, bb != 0)
+	case bkFill:
+		b.fill(a, int(bb))
+	}
+}
+
+// read performs the L2 read pipeline for one request arriving from a CU.
+func (b *bankDomain) read(addr uint64, cu int) {
+	b.ctr.IncC(cL2Accesses)
+	now := b.d.Now()
+	start := now
+	if b.free > start {
+		start = b.free
+	}
+	b.free = start + b.sys.cfg.L2TagLat + b.sys.cfg.L2DataLat
+	_, set, tag := b.sys.split(addr)
+
+	if b.sys.cfg.TagSoftErrorPerLookup > 0 && b.softRNG.Bernoulli(b.sys.cfg.TagSoftErrorPerLookup) {
 		// Tag parity catches the flip; the affected entry is dropped and
 		// the access refetches — never a wrong-line hit.
-		s.ctr.IncC(cTagParityMisses)
-		if way, hit := s.l2tags.Lookup(set, tag); hit {
-			s.scheme.OnEvict(set, way)
-			s.l2tags.Invalidate(set, way)
+		b.ctr.IncC(cTagParityMisses)
+		if way, hit := b.tags.Lookup(set, tag); hit {
+			b.scheme.OnEvict(set, way)
+			b.tags.Invalidate(set, way)
 		}
-		s.ctr.IncC(cReadMisses)
-		s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat)
+		b.ctr.IncC(cReadMisses)
+		b.fetch(addr, cu, start+b.sys.cfg.L2TagLat)
 		return
 	}
 
-	if way, hit := s.l2tags.Lookup(set, tag); hit {
-		s.l2tags.Touch(set, way)
-		id := s.l2tags.LineID(set, way)
-		if s.cfg.SoftErrorPerRead > 0 && s.softRNG.Bernoulli(s.cfg.SoftErrorPerRead) {
-			s.l2data.InjectSoftError(id, s.softRNG.Intn(bitvec.LineBits))
-			s.ctr.IncC(cSoftErrors)
+	if way, hit := b.tags.Lookup(set, tag); hit {
+		b.tags.Touch(set, way)
+		id := b.tags.LineID(set, way)
+		if b.sys.cfg.SoftErrorPerRead > 0 && b.softRNG.Bernoulli(b.sys.cfg.SoftErrorPerRead) {
+			b.data.InjectSoftError(id, b.softRNG.Intn(bitvec.LineBits))
+			b.ctr.IncC(cSoftErrors)
 		}
-		data := s.l2data.Read(id)
-		verdict := s.scheme.OnReadHit(set, way, &data)
+		data := b.data.Read(id)
+		verdict := b.scheme.OnReadHit(set, way, &data)
 		if verdict == protection.Deliver {
-			s.ctr.IncC(cReadHits)
-			if data != s.lineData[id] {
+			b.ctr.IncC(cReadHits)
+			if data != b.lineData[id] {
 				// Delivered data differs from ground truth: silent data
 				// corruption the scheme failed to catch.
-				s.ctr.IncC(cSDC)
+				b.ctr.IncC(cSDC)
 			}
-			done := start + s.cfg.L2TagLat + s.cfg.L2DataLat + s.cfg.ECCLat
-			s.schedule(done-s.eng.Now(), evHitDone, cu, addr, false)
+			done := start + b.sys.cfg.L2TagLat + b.sys.cfg.L2DataLat + b.sys.cfg.ECCLat
+			b.d.Send(b.sys.cus[cu].d, done+1-now, ckRetireFill, addr, 0)
 			return
 		}
 		// Error-induced cache miss: the scheme already invalidated or
 		// disabled the line; refetch from memory.
-		s.ctr.IncC(cErrorMisses)
-		s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat+s.cfg.L2DataLat+s.cfg.ECCLat)
+		b.ctr.IncC(cErrorMisses)
+		b.fetch(addr, cu, start+b.sys.cfg.L2TagLat+b.sys.cfg.L2DataLat+b.sys.cfg.ECCLat)
 		return
 	}
-	s.ctr.IncC(cReadMisses)
-	s.fetchAndFill(cu, addr, start+s.cfg.L2TagLat)
+	b.ctr.IncC(cReadMisses)
+	b.fetch(addr, cu, start+b.sys.cfg.L2TagLat)
 }
 
-// fetchAndFill fetches a line from memory at earliest cycle "from"; the
-// fill event installs it into the L2 (if a way is available), fills the L1,
-// and completes the request.
-func (s *System) fetchAndFill(cu *cuState, addr uint64, from uint64) {
-	done := s.memory.Access(from)
-	s.schedule(done-s.eng.Now(), evFillDone, cu, addr, false)
+// fetch queues a line fetch on the bank's DRAM channel starting no earlier
+// than cycle from. The line has an observer (a pending fetch that will
+// evaluate memory content) from here until the fill lands.
+func (b *bankDomain) fetch(addr uint64, cu int, from uint64) {
+	lineAddr := addr >> b.sys.lineShift
+	p := b.lineState.ref(lineAddr)
+	*p = *p&^0xFFFFFFFF | uint64(uint32(*p)+1)
+	done := b.mem.Access(from)
+	b.d.After(done-b.d.Now(), bkFill, addr, uint64(cu))
 }
 
-// fillDone lands a memory fetch: the line's content is evaluated at fill
-// time (so stores that raced the fetch are reflected), installed into L2,
-// and forwarded to the requesting CU's L1.
-func (s *System) fillDone(cu *cuState, addr uint64) {
-	lineAddr := addr / uint64(s.cfg.LineBytes)
-	s.pendingDec(lineAddr)
-	s.installL2(addr, s.memContent(lineAddr))
-	s.l1Fill(cu.id, addr)
-	s.complete(cu)
+// fill lands a fetch: the line's content is evaluated at fill time (so
+// stores that raced the fetch are reflected), installed into the bank, and
+// the response heads back to the requesting CU's L1.
+func (b *bankDomain) fill(addr uint64, cu int) {
+	lineAddr := addr >> b.sys.lineShift
+	b.pendingDec(lineAddr)
+	b.installL2(addr, b.memContent(lineAddr))
+	b.d.Send(b.sys.cus[cu].d, 1, ckRetireFill, addr, 0)
 }
 
-// installL2 places fetched data into the L2, driving victim selection,
+// store applies a write-through update at the bank. The line's content
+// version advances only when some copy or in-flight fetch can observe the
+// new value: the storing CU's L1, this bank, or a pending fill.
+func (b *bankDomain) store(addr uint64, l1Hit bool) {
+	lineAddr := addr >> b.sys.lineShift
+	_, set, tag := b.sys.split(addr)
+	way, l2Hit := b.tags.Lookup(set, tag)
+	if l1Hit || l2Hit || packedPending(b.lineState.get(lineAddr)) > 0 {
+		*b.lineState.ref(lineAddr) += 1 << 32
+		b.pruneLines()
+	}
+	if l2Hit {
+		b.ctr.IncC(cWriteUpdates)
+		b.tags.Touch(set, way)
+		id := b.tags.LineID(set, way)
+		newData := b.memContent(lineAddr)
+		b.data.Write(id, newData)
+		b.lineData[id] = newData
+		b.scheme.OnWriteHit(set, way, newData)
+	}
+	b.mem.AccessWrite(b.d.Now())
+}
+
+// installL2 places fetched data into the bank, driving victim selection,
 // eviction training, and fill metadata generation on the scheme. When every
 // way of the set is disabled the line bypasses the cache.
-func (s *System) installL2(addr uint64, data bitvec.Line) {
-	set := s.l2tags.Index(addr)
-	tag := s.l2tags.Tag(addr)
-	if _, hit := s.l2tags.Lookup(set, tag); hit {
+func (b *bankDomain) installL2(addr uint64, data bitvec.Line) {
+	_, set, tag := b.sys.split(addr)
+	if _, hit := b.tags.Lookup(set, tag); hit {
 		// A racing fill already installed this line.
 		return
 	}
@@ -698,48 +915,48 @@ func (s *System) installL2(addr uint64, data bitvec.Line) {
 	// multi-bit faulty line on its way out); re-pick until an installable
 	// way is found or the set is exhausted.
 	way := -1
-	for attempt := 0; attempt < s.cfg.L2Ways; attempt++ {
-		w, ok := s.l2tags.Victim(set, s.scheme.VictimFunc())
+	for attempt := 0; attempt < b.sys.cfg.L2Ways; attempt++ {
+		w, ok := b.tags.Victim(set, b.scheme.VictimFunc())
 		if !ok {
 			break
 		}
-		if s.l2tags.Entry(set, w).Valid {
+		if b.tags.Entry(set, w).Valid {
 			// No invalid way was available and the scheme fell through to
 			// its recency tie-break. Real GPU L2s do not implement true
 			// LRU; pick pseudo-randomly among the valid enabled ways
 			// instead, which also keeps streaming fills from
 			// deterministically flushing resident reuse data.
-			w = s.randomValidWay(set, w)
+			w = b.randomValidWay(set, w)
 		}
-		if s.l2tags.Entry(set, w).Valid {
-			s.ctr.IncC(cEvictions)
-			s.scheme.OnEvict(set, w)
+		if b.tags.Entry(set, w).Valid {
+			b.ctr.IncC(cEvictions)
+			b.scheme.OnEvict(set, w)
 		}
-		if !s.l2tags.Entry(set, w).Disabled {
+		if !b.tags.Entry(set, w).Disabled {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
-		s.ctr.IncC(cBypassFills)
+		b.ctr.IncC(cBypassFills)
 		return
 	}
-	s.l2tags.Install(set, way, tag)
-	id := s.l2tags.LineID(set, way)
-	s.l2data.Write(id, data)
-	s.lineData[id] = data
-	s.scheme.OnFill(set, way, data)
+	b.tags.Install(set, way, tag)
+	id := b.tags.LineID(set, way)
+	b.data.Write(id, data)
+	b.lineData[id] = data
+	b.scheme.OnFill(set, way, data)
 }
 
-// randomValidWay picks a pseudo-random valid, enabled way of an L2 set as
+// randomValidWay picks a pseudo-random valid, enabled way of a bank set as
 // the replacement victim, falling back to the scheme's pick if the set has
 // none (cannot happen when the fallback way itself is valid and enabled).
 // The candidate scratch is sized to the configured associativity, so no
 // way can be silently excluded.
-func (s *System) randomValidWay(set, fallback int) int {
-	cand := s.wayScratch
+func (b *bankDomain) randomValidWay(set, fallback int) int {
+	cand := b.wayScratch
 	n := 0
-	for w, e := range s.l2tags.Set(set) {
+	for w, e := range b.tags.Set(set) {
 		if e.Valid && !e.Disabled {
 			cand[n] = w
 			n++
@@ -748,21 +965,5 @@ func (s *System) randomValidWay(set, fallback int) int {
 	if n == 0 {
 		return fallback
 	}
-	return cand[s.replRNG.Intn(n)]
-}
-
-// l1Fill installs a line into a CU's L1 (plain LRU, no protection — the
-// paper's scope is the L2).
-func (s *System) l1Fill(cuID int, addr uint64) {
-	l1 := s.l1[cuID]
-	set := l1.Index(addr)
-	tag := l1.Tag(addr)
-	if _, hit := l1.Lookup(set, tag); hit {
-		return
-	}
-	way, ok := l1.Victim(set, nil)
-	if !ok {
-		return
-	}
-	l1.Install(set, way, tag)
+	return cand[b.replRNG.Intn(n)]
 }

@@ -17,6 +17,17 @@ func smallConfig(v float64) Config {
 	return cfg
 }
 
+// fac adapts a no-argument scheme constructor to the Factory the System
+// consumes (it builds one instance per bank).
+func fac[S protection.Scheme](newS func() S) protection.Factory {
+	return func() protection.Scheme { return newS() }
+}
+
+// killiFac builds a per-bank factory for Killi with the given config.
+func killiFac(c killi.Config) protection.Factory {
+	return func() protection.Scheme { return killi.New(c) }
+}
+
 func shortTraces(name string, n int) [][]workload.Request {
 	w, err := workload.ByName(name)
 	if err != nil {
@@ -26,7 +37,7 @@ func shortTraces(name string, n int) [][]workload.Request {
 }
 
 func TestBaselineNominalRuns(t *testing.T) {
-	sys := New(smallConfig(1.0), protection.NewNone())
+	sys := New(smallConfig(1.0), fac(protection.NewNone))
 	res := sys.Run(shortTraces("nekbone", 2000))
 	if res.Cycles == 0 || res.Instructions == 0 {
 		t.Fatalf("degenerate run: %+v", res)
@@ -44,7 +55,7 @@ func TestBaselineNominalRuns(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() Result {
-		sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+		sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 		return sys.Run(shortTraces("xsbench", 1500))
 	}
 	a, b := run(), run()
@@ -54,7 +65,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestKilliLowVoltageRunsClean(t *testing.T) {
-	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 	res := sys.Run(shortTraces("lulesh", 3000))
 	if res.Counters.Get("l2.silent_data_corruption") != 0 {
 		t.Fatalf("SDC count = %d; Killi must deliver clean data",
@@ -70,7 +81,7 @@ func TestKilliClassifiesFaultPopulation(t *testing.T) {
 	// At a very low voltage the fault population is rich: expect some
 	// Stable1 classifications and disabled lines.
 	cfg := smallConfig(0.575)
-	sys := New(cfg, killi.New(killi.Config{Ratio: 16}))
+	sys := New(cfg, killiFac(killi.Config{Ratio: 16}))
 	res := sys.Run(shortTraces("xsbench", 3000))
 	if res.Counters.Get("killi.dfh_b'01_to_b'10") == 0 {
 		t.Fatal("no single-fault lines discovered at 0.575×VDD")
@@ -90,8 +101,8 @@ func TestKilliPerformanceNearBaseline(t *testing.T) {
 	// fault-free baseline stays small. Allow generous slack for the tiny
 	// test configuration.
 	traces := shortTraces("lulesh", 3000)
-	base := New(smallConfig(1.0), protection.NewNone()).Run(traces)
-	lv := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 16})).Run(traces)
+	base := New(smallConfig(1.0), fac(protection.NewNone)).Run(traces)
+	lv := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 16})).Run(traces)
 	slowdown := float64(lv.Cycles) / float64(base.Cycles)
 	if slowdown > 1.10 {
 		t.Fatalf("Killi slowdown %.3f at 0.625×VDD, want < 1.10", slowdown)
@@ -106,8 +117,8 @@ func TestSmallerECCCacheNeverFaster(t *testing.T) {
 	// execution time is monotone (within noise) in 1/ratio for a
 	// memory-bound workload.
 	traces := shortTraces("xsbench", 2500)
-	big := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 16})).Run(traces)
-	small := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 256})).Run(traces)
+	big := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 16})).Run(traces)
+	small := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 256})).Run(traces)
 	if float64(small.Cycles) < float64(big.Cycles)*0.99 {
 		t.Fatalf("1:256 (%d cycles) materially faster than 1:16 (%d cycles)", small.Cycles, big.Cycles)
 	}
@@ -121,8 +132,8 @@ func TestWorkloadClassesSeparate(t *testing.T) {
 	// Figure 5's split under the full-size L2: memory-bound MPKI is far
 	// above compute-bound MPKI.
 	cfg := DefaultConfig() // full 2 MB L2
-	memRes := New(cfg, protection.NewNone()).Run(shortTraces("xsbench", 3000))
-	cmpRes := New(cfg, protection.NewNone()).Run(shortTraces("nekbone", 3000))
+	memRes := New(cfg, fac(protection.NewNone)).Run(shortTraces("xsbench", 3000))
+	cmpRes := New(cfg, fac(protection.NewNone)).Run(shortTraces("nekbone", 3000))
 	if memRes.MPKI() < 100 {
 		t.Fatalf("xsbench MPKI = %.1f, want > 100 (memory-bound)", memRes.MPKI())
 	}
@@ -135,25 +146,24 @@ func TestAllSchemesRunAllWorkloads(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix smoke test")
 	}
-	schemes := func() []protection.Scheme {
-		return []protection.Scheme{
-			protection.NewSECDEDPerLine(),
-			protection.NewDECTEDPerLine(),
-			protection.NewFLAIR(),
-			protection.NewMSECC(),
-			killi.New(killi.Config{Ratio: 64}),
-		}
+	schemes := []protection.Factory{
+		fac(protection.NewSECDEDPerLine),
+		fac(protection.NewDECTEDPerLine),
+		fac(protection.NewFLAIR),
+		fac(protection.NewMSECC),
+		killiFac(killi.Config{Ratio: 64}),
 	}
 	for _, w := range workload.Catalog() {
 		traces := w.Traces(8, 600, 7)
-		for _, s := range schemes() {
-			sys := New(smallConfig(0.625), s)
+		for _, newScheme := range schemes {
+			name := newScheme().Name()
+			sys := New(smallConfig(0.625), newScheme)
 			res := sys.Run(traces)
 			if res.Cycles == 0 {
-				t.Fatalf("%s/%s produced no cycles", w.Name, s.Name())
+				t.Fatalf("%s/%s produced no cycles", w.Name, name)
 			}
 			if sdc := res.Counters.Get("l2.silent_data_corruption"); sdc != 0 {
-				t.Errorf("%s/%s: SDC = %d", w.Name, s.Name(), sdc)
+				t.Errorf("%s/%s: SDC = %d", w.Name, name, sdc)
 			}
 		}
 	}
@@ -162,7 +172,7 @@ func TestAllSchemesRunAllWorkloads(t *testing.T) {
 func TestSoftErrorInjectionHandled(t *testing.T) {
 	cfg := smallConfig(0.625)
 	cfg.SoftErrorPerRead = 0.01
-	sys := New(cfg, killi.New(killi.Config{Ratio: 32}))
+	sys := New(cfg, killiFac(killi.Config{Ratio: 32}))
 	// nekbone's shared hot set produces plenty of L2 read hits, the only
 	// place soft errors are injected.
 	res := sys.Run(shortTraces("nekbone", 2500))
@@ -180,7 +190,7 @@ func TestVeryLowVoltageBoundedSDC(t *testing.T) {
 	// §5.6.2 masked-multi-bit window): a bounded, tiny SDC count is the
 	// faithful behaviour. The system must terminate with most multi-bit
 	// lines disabled.
-	sys := New(smallConfig(0.575), killi.New(killi.Config{Ratio: 16}))
+	sys := New(smallConfig(0.575), killiFac(killi.Config{Ratio: 16}))
 	res := sys.Run(shortTraces("nekbone", 1500))
 	sdc := res.Counters.Get("l2.silent_data_corruption")
 	if sdc > res.Counters.Get("l2.read_hits")/4+25 {
@@ -196,7 +206,7 @@ func TestInvertedTrainingEliminatesSDC(t *testing.T) {
 	// §5.6.2: the inverted-data retraining flow closes the masked-fault
 	// SDC window entirely (in the absence of multi-bit soft errors).
 	for _, v := range []float64{0.625, 0.575, 0.55} {
-		sys := New(smallConfig(v), killi.New(killi.Config{Ratio: 16, InvertedTraining: true}))
+		sys := New(smallConfig(v), killiFac(killi.Config{Ratio: 16, InvertedTraining: true}))
 		res := sys.Run(shortTraces("nekbone", 1500))
 		if sdc := res.Counters.Get("l2.silent_data_corruption"); sdc != 0 {
 			t.Fatalf("v=%v: SDC = %d with inverted training", v, sdc)
@@ -205,7 +215,7 @@ func TestInvertedTrainingEliminatesSDC(t *testing.T) {
 }
 
 func TestWritesExerciseWriteThroughPath(t *testing.T) {
-	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 	res := sys.Run(shortTraces("fft", 2000)) // fft has a write mix
 	if res.Counters.Get("l1.writes") == 0 {
 		t.Fatal("fft trace produced no writes")
@@ -222,8 +232,8 @@ func TestMSECCLowestMPKIAtVeryLowVoltage(t *testing.T) {
 	// Figure 5: MS-ECC keeps the most capacity, so at aggressive voltage
 	// its MPKI is no worse than SECDED-per-line's.
 	traces := shortTraces("xsbench", 2000)
-	ms := New(smallConfig(0.575), protection.NewMSECC()).Run(traces)
-	sec := New(smallConfig(0.575), protection.NewSECDEDPerLine()).Run(traces)
+	ms := New(smallConfig(0.575), fac(protection.NewMSECC)).Run(traces)
+	sec := New(smallConfig(0.575), fac(protection.NewSECDEDPerLine)).Run(traces)
 	if ms.MPKI() > sec.MPKI()+1e-9 {
 		t.Fatalf("MS-ECC MPKI %.2f > SECDED %.2f at 0.575×VDD", ms.MPKI(), sec.MPKI())
 	}
@@ -236,7 +246,7 @@ func BenchmarkKilliSimulation(b *testing.B) {
 	traces := shortTraces("lulesh", 1000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+		sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 		_ = sys.Run(traces)
 	}
 }
@@ -246,11 +256,11 @@ func TestSteadyStateNearBaseline(t *testing.T) {
 	// execution time approaches the paper's ≤1% band even on a
 	// reuse-heavy workload.
 	traces := shortTraces("miniamr", 3000)
-	base := New(smallConfig(1.0), protection.NewNone())
+	base := New(smallConfig(1.0), fac(protection.NewNone))
 	base.Run(traces)
 	baseRes := base.Run(traces)
 
-	lv := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	lv := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 	lv.Run(traces) // warm-up kernel: DFH training happens here
 	lvRes := lv.Run(traces)
 
@@ -263,7 +273,7 @@ func TestSteadyStateNearBaseline(t *testing.T) {
 func TestRunDeltasAreIndependent(t *testing.T) {
 	// Two identical back-to-back kernels on a fault-free system must
 	// report (nearly) identical per-run results.
-	sys := New(smallConfig(1.0), protection.NewNone())
+	sys := New(smallConfig(1.0), fac(protection.NewNone))
 	traces := shortTraces("nekbone", 1500)
 	a := sys.Run(traces)
 	b := sys.Run(traces)
@@ -281,9 +291,9 @@ func TestKilliDECTEDModeKeepsMoreCapacity(t *testing.T) {
 	// §5.2's DECTED extension: at a voltage with many 2-fault lines,
 	// DECTED-mode Killi disables fewer lines than plain Killi.
 	traces := shortTraces("xsbench", 2500)
-	plain := New(smallConfig(0.59), killi.New(killi.Config{Ratio: 16}))
+	plain := New(smallConfig(0.59), killiFac(killi.Config{Ratio: 16}))
 	pRes := plain.Run(traces)
-	dected := New(smallConfig(0.59), killi.New(killi.Config{Ratio: 16, UseDECTED: true}))
+	dected := New(smallConfig(0.59), killiFac(killi.Config{Ratio: 16, UseDECTED: true}))
 	dRes := dected.Run(traces)
 	if dRes.DisabledLines >= pRes.DisabledLines {
 		t.Fatalf("DECTED mode disabled %d lines, plain %d", dRes.DisabledLines, pRes.DisabledLines)
@@ -301,8 +311,10 @@ func TestFLAIROnlineTrainingCostsPerformance(t *testing.T) {
 	// sacrifices capacity (7/16 ways) while it runs. With training long
 	// enough to cover the run, execution slows versus pre-trained FLAIR.
 	traces := shortTraces("nekbone", 2500)
-	pre := New(smallConfig(0.625), protection.NewFLAIR()).Run(traces)
-	online := New(smallConfig(0.625), protection.NewFLAIROnline(1<<40)).Run(traces)
+	pre := New(smallConfig(0.625), fac(protection.NewFLAIR)).Run(traces)
+	online := New(smallConfig(0.625), func() protection.Scheme {
+		return protection.NewFLAIROnline(1 << 40)
+	}).Run(traces)
 	if online.Cycles <= pre.Cycles {
 		t.Fatalf("online-training FLAIR (%d cycles) not slower than pre-trained (%d)",
 			online.Cycles, pre.Cycles)
@@ -317,8 +329,8 @@ func TestAblationEvictionTrainingMatters(t *testing.T) {
 	// contention) is what makes DFH warmup converge. Without it, far
 	// fewer lines reach a stable state in the same run.
 	traces := shortTraces("xsbench", 2500)
-	with := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64})).Run(traces)
-	without := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64, NoEvictionTraining: true})).Run(traces)
+	with := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64})).Run(traces)
+	without := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64, NoEvictionTraining: true})).Run(traces)
 	trained := func(r Result) uint64 {
 		return r.Counters.Get("killi.dfh_b'01_to_b'00") + r.Counters.Get("killi.dfh_b'01_to_b'10")
 	}
@@ -335,7 +347,7 @@ func TestAblationAllocationPriorityStillCorrect(t *testing.T) {
 	// Plain-LRU allocation must stay functionally correct (the priority
 	// is a performance/SDC-exposure optimization only).
 	traces := shortTraces("nekbone", 2000)
-	res := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64, PlainLRUAllocation: true})).Run(traces)
+	res := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64, PlainLRUAllocation: true})).Run(traces)
 	if res.Counters.Get("l2.silent_data_corruption") != 0 {
 		t.Fatal("plain-LRU allocation caused SDC")
 	}
@@ -348,7 +360,7 @@ func TestAgingFaultsRelearnedWithoutSDC(t *testing.T) {
 	// The lifetime-adaptation claim (§4.3): run a kernel, wear the array
 	// out between kernels, run again. Killi must relearn the aged lines
 	// (post-training errors → retrain) and never deliver corrupt data.
-	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 	traces := shortTraces("nekbone", 2500)
 	sys.Run(traces) // train
 	// 60 faults over 2048 lines keeps the probability of two new faults
@@ -369,25 +381,40 @@ func TestAgingFaultsRelearnedWithoutSDC(t *testing.T) {
 }
 
 func TestTagSoftErrorsAreSafeMisses(t *testing.T) {
+	// A hot set that thrashes the 256-line L1s but fits the 2048-line L2
+	// with room to spare: without tag errors every post-warmup L2 read
+	// hits, so each parity event on a resident line is necessarily one
+	// extra miss (there are no conflict misses an invalidation could
+	// offset).
+	hot := func() [][]workload.Request {
+		traces := make([][]workload.Request, 8)
+		for cu := range traces {
+			for i := 0; i < 4000; i++ {
+				traces[cu] = append(traces[cu],
+					workload.Request{Addr: uint64(i%1024) * 64, Instrs: 4})
+			}
+		}
+		return traces
+	}
 	cfg := smallConfig(1.0)
 	cfg.TagSoftErrorPerLookup = 0.02
-	sys := New(cfg, protection.NewNone())
-	res := sys.Run(shortTraces("nekbone", 2500))
+	res := New(cfg, fac(protection.NewNone)).Run(hot())
 	if res.Counters.Get("l2.tag_parity_misses") == 0 {
 		t.Fatal("no tag parity events at 2% per lookup")
 	}
 	if res.Counters.Get("l2.silent_data_corruption") != 0 {
 		t.Fatal("tag soft errors corrupted data")
 	}
-	// A clean run must beat the tag-error run on hits.
-	clean := New(smallConfig(1.0), protection.NewNone()).Run(shortTraces("nekbone", 2500))
+	// A clean run must beat the tag-error run on misses.
+	clean := New(smallConfig(1.0), fac(protection.NewNone)).Run(hot())
 	if clean.L2Misses >= res.L2Misses {
-		t.Fatal("tag parity misses did not increase miss count")
+		t.Fatalf("tag parity misses did not increase miss count: clean %d, tag-error %d",
+			clean.L2Misses, res.L2Misses)
 	}
 }
 
 func TestAblationXORIndexStillCorrect(t *testing.T) {
-	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64, XORHashECCIndex: true}))
+	sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64, XORHashECCIndex: true}))
 	res := sys.Run(shortTraces("xsbench", 2000))
 	if res.Counters.Get("l2.silent_data_corruption") != 0 {
 		t.Fatal("XOR-indexed ECC cache caused SDC")
@@ -403,9 +430,9 @@ func TestTable7OLSCModeCapacity(t *testing.T) {
 	// nearly everything; MS-ECC is the capacity ceiling.
 	traces := shortTraces("xsbench", 2500)
 	lines := smallConfig(0.575).L2Bytes / 64
-	plain := New(smallConfig(0.575), killi.New(killi.Config{Ratio: 2})).Run(traces)
-	olscRes := New(smallConfig(0.575), killi.New(killi.Config{Ratio: 2, OLSCStrength: 11})).Run(traces)
-	ms := New(smallConfig(0.575), protection.NewMSECC()).Run(traces)
+	plain := New(smallConfig(0.575), killiFac(killi.Config{Ratio: 2})).Run(traces)
+	olscRes := New(smallConfig(0.575), killiFac(killi.Config{Ratio: 2, OLSCStrength: 11})).Run(traces)
+	ms := New(smallConfig(0.575), fac(protection.NewMSECC)).Run(traces)
 
 	plainDisabledPct := float64(plain.DisabledLines) / float64(lines) * 100
 	olscDisabledPct := float64(olscRes.DisabledLines) / float64(lines) * 100

@@ -13,7 +13,7 @@ import (
 // the non-daemon event order.
 func TestObservedRunIsBitIdentical(t *testing.T) {
 	run := func(col obs.Observer) Result {
-		sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+		sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 		if col != nil {
 			sys.SetObserver(col, 2048)
 		}
@@ -40,7 +40,7 @@ func TestObservedRunIsBitIdentical(t *testing.T) {
 // and a disabled population matching the tag store.
 func TestObserverCollectsCoherentSeries(t *testing.T) {
 	const epoch = 2048
-	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 	col := obs.NewCollector()
 	sys.SetObserver(col, epoch)
 	res := sys.Run(shortTraces("xsbench", 1500))
@@ -92,7 +92,7 @@ func TestObserverCollectsCoherentSeries(t *testing.T) {
 // ticker armed in the first Run persists in the queue and keeps sampling in
 // later Runs (warm-up kernel followed by a measured kernel) without gaps.
 func TestObserverTicksAcrossRuns(t *testing.T) {
-	sys := New(smallConfig(0.625), killi.New(killi.Config{Ratio: 64}))
+	sys := New(smallConfig(0.625), killiFac(killi.Config{Ratio: 64}))
 	col := obs.NewCollector()
 	sys.SetObserver(col, 2048)
 	traces := shortTraces("xsbench", 1000)

@@ -28,23 +28,36 @@ func streamTraces(cus, pairs int, startLine uint64) ([][]workload.Request, uint6
 	return traces, next
 }
 
+// liveLineStateEntries sums the live line-state entries over all banks.
+func liveLineStateEntries(sys *System) int {
+	n := 0
+	for _, b := range sys.banks {
+		n += b.lineState.live
+	}
+	return n
+}
+
 // TestVersionsMapBounded runs a streaming write workload over fresh
-// addresses across many Run calls and checks the line-state table stays
-// bounded: entries for lines no longer observable through any cache level
-// are pruned once the table crosses its high-water mark, instead of
-// growing with the total footprint forever.
+// addresses across many Run calls and checks the per-bank line-state
+// tables stay bounded: entries for lines no longer observable through any
+// cache level are pruned once a bank's table crosses its high-water mark,
+// instead of growing with the total footprint forever.
 func TestVersionsMapBounded(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CUs = 2
 	cfg.L1Bytes = 4 << 10
-	cfg.L2Bytes = 64 << 10 // 1024 lines -> high water at 4096 entries
+	cfg.L2Bytes = 64 << 10 // 1024 lines -> summed high water at 4096 entries
 	cfg.L2Banks = 4
-	sys := New(cfg, protection.NewNone())
+	sys := New(cfg, fac(protection.NewNone))
 
 	// Pending increments do not trigger a prune themselves, so between
-	// prunes the table can overshoot the high-water mark by at most the
-	// in-flight read window.
-	bound := sys.versionsHighWater + cfg.CUs*cfg.WindowPerCU
+	// prunes the tables can overshoot their summed high-water mark by at
+	// most the in-flight read window.
+	highWater := 0
+	for _, b := range sys.banks {
+		highWater += b.versionsHighWater
+	}
+	bound := highWater + cfg.CUs*cfg.WindowPerCU
 
 	totalLines := uint64(0)
 	next := uint64(1)
@@ -56,30 +69,34 @@ func TestVersionsMapBounded(t *testing.T) {
 		// pendingDec decrements counts to zero in place (dead entries are
 		// swept in bulk at the high-water mark, not removed one by one);
 		// after a drain there must be no positive count left.
-		for i, k := range sys.lineState.keys {
-			if k == 0 {
-				continue
-			}
-			if n := packedPending(sys.lineState.vals[i]); n > 0 {
-				t.Fatalf("run %d: line %#x has %d pending reads after drain", run, k-1, n)
+		for _, b := range sys.banks {
+			for i, k := range b.lineState.keys {
+				if k == 0 {
+					continue
+				}
+				if n := packedPending(b.lineState.vals[i]); n > 0 {
+					t.Fatalf("run %d: bank %d line %#x has %d pending reads after drain",
+						run, b.bank, k-1, n)
+				}
 			}
 		}
-		if sys.lineState.live > bound {
-			t.Fatalf("run %d: line-state table grew to %d entries (high water %d)",
-				run, sys.lineState.live, sys.versionsHighWater)
+		if live := liveLineStateEntries(sys); live > bound {
+			t.Fatalf("run %d: line-state tables grew to %d entries (summed high water %d)",
+				run, live, highWater)
 		}
 	}
-	if totalLines <= uint64(sys.versionsHighWater) {
+	if totalLines <= uint64(highWater) {
 		t.Fatalf("test footprint %d lines does not exceed the high-water mark %d",
-			totalLines, sys.versionsHighWater)
+			totalLines, highWater)
 	}
-	// Between prunes the table may grow back up to the high-water mark plus
-	// the entries added before the next prune fires; it must not track the
-	// full 16000-line footprint.
-	if sys.lineState.live > bound {
-		t.Fatalf("line-state table grew to %d entries (high water %d, footprint %d lines)",
-			sys.lineState.live, sys.versionsHighWater, totalLines)
+	// Between prunes a table may grow back up to its high-water mark plus
+	// the entries added before the next prune fires; the total must not
+	// track the full 16000-line footprint.
+	if live := liveLineStateEntries(sys); live > bound {
+		t.Fatalf("line-state tables grew to %d entries (summed high water %d, footprint %d lines)",
+			live, highWater, totalLines)
 	}
+	sys.mergeCounters()
 	if sys.ctr.Get("l2.version_prunes") == 0 {
 		t.Fatal("pruning never triggered despite footprint above high water")
 	}
@@ -91,12 +108,16 @@ func TestVersionsMapBounded(t *testing.T) {
 func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CUs = 1
-	sys := New(cfg, protection.NewNone())
+	sys := New(cfg, fac(protection.NewNone))
+	lineStateOf := func(addr uint64) uint64 {
+		bank, _, _ := sys.split(addr)
+		return sys.banks[bank].lineState.get(addr >> sys.lineShift)
+	}
 	traces := [][]workload.Request{{
 		{Addr: 0x1000, Write: true, Instrs: 4}, // blind store, nothing resident
 	}}
 	sys.Run(traces)
-	if v := packedVersion(sys.lineState.get(0x1000 / 64)); v != 0 {
+	if v := packedVersion(lineStateOf(0x1000)); v != 0 {
 		t.Fatalf("blind store recorded version %d, want 0", v)
 	}
 
@@ -107,7 +128,7 @@ func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
 		{Addr: 0x2000, Write: true, Instrs: 4},
 	}}
 	sys.Run(traces)
-	if v := packedVersion(sys.lineState.get(0x2000 / 64)); v != 1 {
+	if v := packedVersion(lineStateOf(0x2000)); v != 1 {
 		t.Fatalf("observable store recorded version %d, want 1", v)
 	}
 }
@@ -117,16 +138,17 @@ func TestUnobservableStoreSkipsVersionEntry(t *testing.T) {
 // selection must be able to return ways above the old 64-entry cap.
 func TestRandomValidWayWideAssoc(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.L2Bytes = 128 * 64 * 4 // 4 sets of 128 ways
+	cfg.L2Bytes = 128 * 64 * 4 // 4 global sets of 128 ways
 	cfg.L2Ways = 128
 	cfg.L2Banks = 2
-	sys := New(cfg, protection.NewNone())
+	sys := New(cfg, fac(protection.NewNone))
+	b := sys.banks[0]
 	for way := 0; way < cfg.L2Ways; way++ {
-		sys.l2tags.Install(0, way, uint64(way))
+		b.tags.Install(0, way, uint64(way))
 	}
 	seen := make(map[int]bool)
 	for i := 0; i < 4096; i++ {
-		seen[sys.randomValidWay(0, 0)] = true
+		seen[b.randomValidWay(0, 0)] = true
 	}
 	high := 0
 	for w := range seen {

@@ -40,8 +40,16 @@ type eccCache struct {
 // ratio (entries = l2Lines / ratio) with the paper's 4-way associativity.
 func newECCCache(l2Lines, ratio, assoc int) *eccCache {
 	entries := l2Lines / ratio
+	if entries < 1 {
+		entries = 1
+	}
 	if entries < assoc {
-		entries = assoc
+		// Degenerate sizing (a small L2 bank at a large ratio): shrink the
+		// associativity instead of padding capacity up to a full set, so
+		// the total entry budget — the paper's 1:ratio provisioning, and
+		// the contention behavior it drives — is preserved when the L2 is
+		// split into per-bank slices.
+		assoc = entries
 	}
 	sets := entries / assoc
 	if sets < 1 {

@@ -12,8 +12,11 @@ func TestECCCacheSizing(t *testing.T) {
 		{32768, 16, 4, 2048},
 		{32768, 256, 4, 128},
 		{32768, 64, 4, 512},
-		{16, 4, 4, 4},  // exactly one set
-		{16, 32, 4, 4}, // clamps to at least one set of assoc entries
+		{16, 4, 4, 4}, // exactly one set
+		// Degenerate sizing shrinks associativity instead of padding
+		// capacity: the 1:ratio entry budget survives per-bank splits.
+		{16, 32, 4, 1},
+		{16, 8, 4, 2},
 	}
 	for _, c := range cases {
 		e := newECCCache(c.l2Lines, c.ratio, c.assoc)

@@ -63,6 +63,12 @@ type Host interface {
 	Observer() obs.Observer
 }
 
+// Factory builds a fresh, unattached Scheme instance. The sharded L2
+// attaches one instance per bank — each protects its bank's lines through
+// its own Host view and shares nothing with its siblings — so systems are
+// constructed from a factory rather than a single pre-built instance.
+type Factory func() Scheme
+
 // Scheme is an error-protection mechanism attached to the L2.
 //
 // Call ordering: Attach once, then Reset at every voltage change or

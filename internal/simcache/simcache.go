@@ -38,7 +38,7 @@ import (
 // SchemaVersion invalidates every existing cache entry when bumped. It must
 // change whenever a code change alters simulation results (a golden-digest
 // change is the tell) or the Result layout.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Result is the cacheable scalar slice of a simulation result.
 type Result struct {

@@ -40,6 +40,23 @@ type Array struct {
 	// they are active at every voltage and survive voltage changes. Kept
 	// apart from the (shared) resolved view.
 	injected [][]faultmodel.Fault
+	// mapWays/mapStride/mapOffset describe a strided view into the fault
+	// map for arrays that hold every mapStride-th group of mapWays lines
+	// (an address-interleaved cache bank over a whole-cache fault map).
+	// Local line i looks up global map line
+	// ((i/ways)*stride + offset)*ways + i%ways; payloads stay local.
+	// NewResolved sets the identity view (stride 1, offset 0).
+	mapWays   int
+	mapStride int
+	mapOffset int
+}
+
+// mapIndex translates a local line index to its fault-map line.
+func (a *Array) mapIndex(i int) int {
+	if a.mapStride == 1 && a.mapOffset == 0 {
+		return i
+	}
+	return ((i/a.mapWays)*a.mapStride+a.mapOffset)*a.mapWays + i%a.mapWays
 }
 
 // New returns an array of n lines using the given persistent fault map,
@@ -65,10 +82,47 @@ func NewResolved(n int, faults *faultmodel.Map, resolved *faultmodel.Resolved) *
 		panic(fmt.Sprintf("sram: resolved view covers %d lines, need %d", resolved.Lines(), n))
 	}
 	return &Array{
-		lines:   make([]bitvec.Line, n),
-		faults:  faults,
-		voltage: resolved.Voltage(),
-		active:  resolved,
+		lines:     make([]bitvec.Line, n),
+		faults:    faults,
+		voltage:   resolved.Voltage(),
+		active:    resolved,
+		mapWays:   1,
+		mapStride: 1,
+	}
+}
+
+// NewResolvedView returns an n-line array that maps its lines onto a
+// strided slice of a larger shared fault map: local lines are consumed in
+// groups of ways, and group g (a cache set) corresponds to map group
+// g*stride + offset. This is how an address-interleaved L2 bank — which
+// owns every stride-th set of the cache — keeps the per-line fault
+// population of the whole-cache map without copying or re-deriving it, so
+// a sharded simulation sees bit-identical faults to a monolithic one.
+func NewResolvedView(n int, faults *faultmodel.Map, resolved *faultmodel.Resolved, ways, stride, offset int) *Array {
+	if ways < 1 || stride < 1 || offset < 0 || offset >= stride {
+		panic(fmt.Sprintf("sram: bad view geometry ways=%d stride=%d offset=%d", ways, stride, offset))
+	}
+	if n%ways != 0 {
+		panic(fmt.Sprintf("sram: %d lines not a multiple of %d ways", n, ways))
+	}
+	need := ((n/ways-1)*stride + offset + 1) * ways
+	if faults.Lines() < need {
+		panic(fmt.Sprintf("sram: fault map covers %d lines, view needs %d", faults.Lines(), need))
+	}
+	if faults.BitsPerLine() != bitvec.LineBits {
+		panic("sram: fault map is not 512 bits per line")
+	}
+	if resolved.Lines() < need {
+		panic(fmt.Sprintf("sram: resolved view covers %d lines, view needs %d", resolved.Lines(), need))
+	}
+	return &Array{
+		lines:     make([]bitvec.Line, n),
+		faults:    faults,
+		voltage:   resolved.Voltage(),
+		active:    resolved,
+		mapWays:   ways,
+		mapStride: stride,
+		mapOffset: offset,
 	}
 }
 
@@ -100,7 +154,7 @@ func (a *Array) Write(i int, data bitvec.Line) {
 // the voltage-dependent population, matching their injection order.
 func (a *Array) Read(i int) bitvec.Line {
 	out := a.lines[i]
-	for _, f := range a.active.LineFaults(i) {
+	for _, f := range a.active.LineFaults(a.mapIndex(i)) {
 		out.SetBit(f.Bit, f.StuckAt)
 	}
 	if a.injected != nil {
@@ -119,7 +173,7 @@ func (a *Array) ReadTrue(i int) bitvec.Line { return a.lines[i] }
 // ActiveFaultCount returns the number of active persistent faults in
 // line i at the current voltage.
 func (a *Array) ActiveFaultCount(i int) int {
-	n := a.active.LineCount(i)
+	n := a.active.LineCount(a.mapIndex(i))
 	if a.injected != nil {
 		n += len(a.injected[i])
 	}
@@ -131,7 +185,7 @@ func (a *Array) ActiveFaultCount(i int) int {
 // observable right now.
 func (a *Array) UnmaskedFaultCount(i int) int {
 	n := 0
-	for _, f := range a.active.LineFaults(i) {
+	for _, f := range a.active.LineFaults(a.mapIndex(i)) {
 		if a.lines[i].Bit(f.Bit) != f.StuckAt {
 			n++
 		}

@@ -252,3 +252,56 @@ func TestInjectedPersistentFaultSurvivesVoltageChange(t *testing.T) {
 		t.Fatal("aging fault missing from active count")
 	}
 }
+
+// TestResolvedViewMatchesMonolithic checks the strided bank view: an array
+// holding every stride-th group of ways lines must read exactly what the
+// monolithic array reads at the corresponding global lines — same faults,
+// same masking — at every voltage tried.
+func TestResolvedViewMatchesMonolithic(t *testing.T) {
+	const (
+		ways   = 4
+		stride = 8
+		groups = 16 // global groups; each view holds groups/stride of them
+		lines  = ways * groups
+	)
+	fm := faultmodel.NewMap(xrand.New(9), faultmodel.Default(), lines, bitvec.LineBits, 0.5, 1.0)
+	for _, v := range []float64{0.55, 0.70, 1.0} {
+		resolved := fm.Resolve(v)
+		whole := NewResolved(lines, fm, resolved)
+		r := xrand.New(11)
+		payload := make([]bitvec.Line, lines)
+		for i := range payload {
+			payload[i] = randomLine(r)
+			whole.Write(i, payload[i])
+		}
+		for offset := 0; offset < stride; offset++ {
+			local := lines / stride
+			view := NewResolvedView(local, fm, resolved, ways, stride, offset)
+			for i := 0; i < local; i++ {
+				g := ((i/ways)*stride+offset)*ways + i%ways
+				view.Write(i, payload[g])
+				if got, want := view.Read(i), whole.Read(g); got != want {
+					t.Fatalf("v=%.2f offset=%d: view line %d != whole line %d", v, offset, i, g)
+				}
+				if got, want := view.ActiveFaultCount(i), whole.ActiveFaultCount(g); got != want {
+					t.Fatalf("v=%.2f offset=%d line %d: fault count %d, want %d", v, offset, i, got, want)
+				}
+				if got, want := view.UnmaskedFaultCount(i), whole.UnmaskedFaultCount(g); got != want {
+					t.Fatalf("v=%.2f offset=%d line %d: unmasked %d, want %d", v, offset, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestResolvedViewRejectsShortMap(t *testing.T) {
+	fm := faultmodel.NewMap(xrand.New(1), faultmodel.Default(), 16, bitvec.LineBits, 0.5, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("view needing lines beyond the map should panic")
+		}
+	}()
+	// offset 3 of stride 4 with 8 local lines of 4 ways needs map line
+	// ((8/4-1)*4+3+1)*4 = 32 > 16.
+	NewResolvedView(8, fm, fm.Resolve(0.6), 4, 4, 3)
+}

@@ -111,6 +111,28 @@ func (c *Counters) GetC(h Counter) uint64 {
 	return c.vals[h]
 }
 
+// Reset zeroes every counter, keeping the storage.
+func (c *Counters) Reset() {
+	for i := range c.vals {
+		c.vals[i] = 0
+	}
+}
+
+// MergeFrom adds every counter of src into c. Handles are process-wide, so
+// the sum is well-defined across instances; merging a fixed sequence of
+// instances is deterministic regardless of which goroutines incremented
+// them (addition commutes).
+func (c *Counters) MergeFrom(src *Counters) {
+	if len(src.vals) > len(c.vals) {
+		c.grow(Counter(len(src.vals) - 1))
+	}
+	for i, v := range src.vals {
+		if v != 0 {
+			c.vals[i] += v
+		}
+	}
+}
+
 // Add increments a counter by n.
 func (c *Counters) Add(name string, n uint64) { c.AddC(Intern(name), n) }
 
