@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries
+.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries soak e2e
 
 tier1: vet build test shape doccheck
 
@@ -47,6 +47,17 @@ bench:
 
 bench-enforce:
 	$(GO) run ./cmd/killi-bench -o BENCH_core.json -enforce
+
+# The resident-service load harness (what CI's simd job runs): concurrent
+# clients against the job API, asserting 429-only backpressure, identical
+# results for identical requests, and a sub-10ms best warm round-trip.
+soak:
+	$(GO) test -run 'TestServerSoak' -short -v ./internal/simserver
+
+# Lifecycle end-to-end tests: SIGINT mid-sweep strands nothing and exits
+# nonzero; SIGTERM drains the daemon cleanly.
+e2e:
+	$(GO) test -v -timeout 10m ./cmd/killi-sim ./cmd/killi-simd
 
 # DFH training-dynamics time series for one memory-bound and one
 # compute-bound workload (the EXPERIMENTS.md "Training dynamics" data; CI

@@ -9,6 +9,7 @@
 package killi_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -71,7 +72,7 @@ func BenchmarkFig2LineDistribution(b *testing.B) {
 // sweep runs the Figure 4/5 experiment once with benchmark-scale traces.
 func sweep(b *testing.B, workloads []string) []experiments.Row {
 	b.Helper()
-	rows, err := experiments.Run(experiments.Config{
+	rows, err := experiments.Run(context.Background(), experiments.Config{
 		Voltage:       0.625,
 		RequestsPerCU: 2500,
 		Seed:          1,

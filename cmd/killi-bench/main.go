@@ -19,7 +19,12 @@
 //     task served from disk);
 //   - shard_curve_single_run_seconds: the single-run wall-clock at
 //     K = 1, 2, 4, 8 shards (always measured serially per point), the
-//     scaling table EXPERIMENTS.md cites.
+//     scaling table EXPERIMENTS.md cites;
+//   - server_cold_rps and server_hot_rps: requests per second through the
+//     killi-simd job API (internal/simserver over HTTP) — cold drives
+//     distinct jobs that all simulate, hot replays them against the warm
+//     result cache. Ungated (machine- and load-shape-dependent); tracked
+//     so the daemon's serving overhead shows up in review.
 //
 // When the output file already exists, its "baseline" entry is preserved
 // and only "current" is rewritten; delete the file to rebase the baseline.
@@ -33,10 +38,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -44,6 +55,7 @@ import (
 	"killi/internal/experiments"
 	"killi/internal/killi"
 	"killi/internal/protection"
+	"killi/internal/simserver"
 )
 
 type point struct {
@@ -53,6 +65,8 @@ type point struct {
 	SweepSeconds     float64 `json:"sweep_seconds"`
 	SweepColdSeconds float64 `json:"sweep_cold_seconds"`
 	SweepWarmSeconds float64 `json:"sweep_warm_seconds"`
+	ServerColdRPS    float64 `json:"server_cold_rps"`
+	ServerHotRPS     float64 `json:"server_hot_rps"`
 }
 
 type report struct {
@@ -114,7 +128,7 @@ func sweepConfig(cacheDir string, shards int) experiments.Config {
 
 func benchSweep(cacheDir string, shards int) (float64, error) {
 	start := time.Now()
-	if _, err := experiments.Run(sweepConfig(cacheDir, shards)); err != nil {
+	if _, err := experiments.Run(context.Background(), sweepConfig(cacheDir, shards)); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil
@@ -133,7 +147,7 @@ func benchSingle(shards int) (float64, error) {
 	best := 0.0
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		if _, err := experiments.RunOne(cfg, "xsbench", newScheme, cfg.Voltage); err != nil {
+		if _, err := experiments.RunOne(context.Background(), cfg, "xsbench", newScheme, cfg.Voltage); err != nil {
 			return 0, err
 		}
 		if s := time.Since(start).Seconds(); i == 0 || s < best {
@@ -142,6 +156,75 @@ func benchSingle(shards int) (float64, error) {
 	}
 	return best, nil
 }
+
+// benchServer measures request throughput through the killi-simd job API:
+// a simserver behind a real HTTP listener, driven cold (serverJobs distinct
+// run jobs, all submitted at once so the worker pool is saturated, every
+// one simulating) and then hot (serverHotN sequential replays of the same
+// jobs, every one a cache hit — 1/latency of a warm request).
+func benchServer() (coldRPS, hotRPS float64, err error) {
+	cacheDir, err := os.MkdirTemp("", "killi-bench-server-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(cacheDir)
+	svc, err := simserver.New(simserver.Config{CacheDir: cacheDir, QueueDepth: serverJobs})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer svc.Close(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func(seed int) error {
+		body := fmt.Sprintf(
+			`{"kind":"run","workload":"xsbench","scheme":"killi-1:64","requests_per_cu":2500,"seed":%d}`, seed)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("job seed %d: status %d", seed, resp.StatusCode)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, serverJobs)
+	start := time.Now()
+	for i := 0; i < serverJobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = post(1 + i)
+		}(i)
+	}
+	wg.Wait()
+	coldRPS = serverJobs / time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	start = time.Now()
+	for i := 0; i < serverHotN; i++ {
+		if err := post(1 + i%serverJobs); err != nil {
+			return 0, 0, err
+		}
+	}
+	hotRPS = serverHotN / time.Since(start).Seconds()
+	return coldRPS, hotRPS, nil
+}
+
+const (
+	serverJobs = 16  // distinct cold jobs (and the hot phase's key set)
+	serverHotN = 200 // sequential warm requests
+)
 
 // enforce compares a fresh measurement against the committed baseline and
 // returns the violations (empty = within budget). Throughput metrics gate
@@ -235,6 +318,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cache:  cold %.3f s -> warm %.3f s (%.1f%% of cold)\n",
 		cold, warm, 100*warm/cold)
 
+	coldRPS, hotRPS, err := benchServer()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "server: cold %.1f req/s -> hot %.1f req/s (%d jobs via the killi-simd API)\n",
+		coldRPS, hotRPS, serverJobs)
+
 	cur := point{
 		NsPerEvent:       ns,
 		AllocsPerEvent:   allocs,
@@ -242,12 +333,22 @@ func main() {
 		SweepSeconds:     sweep,
 		SweepColdSeconds: cold,
 		SweepWarmSeconds: warm,
+		ServerColdRPS:    coldRPS,
+		ServerHotRPS:     hotRPS,
 	}
 	rep := report{Baseline: cur, Current: cur, ShardCurve: curve}
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old report
 		if json.Unmarshal(prev, &old) == nil && old.Baseline != (point{}) {
 			rep.Baseline = old.Baseline
+			// Fields the committed baseline predates start at the current
+			// measurement instead of a meaningless zero.
+			if rep.Baseline.ServerColdRPS == 0 {
+				rep.Baseline.ServerColdRPS = cur.ServerColdRPS
+			}
+			if rep.Baseline.ServerHotRPS == 0 {
+				rep.Baseline.ServerHotRPS = cur.ServerHotRPS
+			}
 		}
 	}
 

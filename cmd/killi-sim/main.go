@@ -7,11 +7,18 @@
 //	        memory-bound panels (Figure 5)
 //
 // Both figures come from the same sweep; the flag selects what to print.
-// -parallel fans the workload × scheme simulations out over a worker pool
-// (default GOMAXPROCS); results are bit-for-bit identical to -parallel 1.
-// -cache <dir> keeps a content-addressed result cache across invocations,
-// so re-running a figure with unchanged inputs is a disk read per task;
-// cached rows are bit-identical to recomputed ones.
+// The sweep runs as a job on the same internal/simserver engine that backs
+// the killi-simd daemon, so the CLI and the service share one validation,
+// caching, cancellation, and metrics path. -parallel fans the workload ×
+// scheme simulations out over a worker pool (default GOMAXPROCS); results
+// are bit-for-bit identical to -parallel 1. -cache <dir> keeps a
+// content-addressed result cache across invocations, so re-running a figure
+// with unchanged inputs is a disk read per task; cached rows are
+// bit-identical to recomputed ones.
+//
+// SIGINT or SIGTERM during a sweep cancels the simulations at their next
+// kernel boundary, sweeps stranded cache temporaries, and exits nonzero —
+// an interrupted sweep never strands partial state.
 //
 // Observability: -timeseries out.jsonl and/or -trace-events out.json switch
 // killi-sim into a single observed run (workload and scheme from
@@ -25,20 +32,29 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"killi/internal/experiments"
 	"killi/internal/gpu"
 	"killi/internal/obs"
+	"killi/internal/simserver"
 	"killi/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	fig := flag.Int("fig", 4, "figure to regenerate (4, 5, or 45 for both)")
 	voltage := flag.Float64("voltage", 0.625, "LV operating point (x VDD)")
 	requests := flag.Int("requests", 12000, "trace requests per CU")
@@ -58,31 +74,46 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live sweep progress over HTTP on this address (e.g. localhost:8060; expvar JSON at /metrics)")
 	flag.Parse()
 
-	if *timeseries != "" || *traceEvents != "" {
-		if err := observedRun(*timeseries, *traceEvents, *obsWorkload, *obsScheme,
-			*voltage, *requests, *seed, *warmup, *epoch, *shards); err != nil {
-			fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	// Reject bad flag combinations before any work starts.
+	if err := experiments.ValidateFlags(*requests, *parallel, *shards, runtime.GOMAXPROCS(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+		return 2
 	}
-
 	switch *fig {
 	case 4, 5, 45:
 	default:
 		fmt.Fprintf(os.Stderr, "killi-sim: unknown figure %d (want 4, 5, or 45)\n", *fig)
-		os.Exit(2)
+		return 2
+	}
+
+	// ctx ends on the first SIGINT/SIGTERM; a second signal kills the
+	// process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *timeseries != "" || *traceEvents != "" {
+		err := observedRun(ctx, *timeseries, *traceEvents, *obsWorkload, *obsScheme,
+			*voltage, *requests, *seed, *warmup, *epoch, *shards)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "killi-sim: interrupted")
+			return 130
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killi-sim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "killi-sim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -94,59 +125,89 @@ func main() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "killi-sim: -memprofile: %v\n", err)
-				os.Exit(1)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "killi-sim: -memprofile: %v\n", err)
-				os.Exit(1)
 			}
 		}()
 	}
 
-	cfg := experiments.Config{
+	var metrics *obs.Metrics
+	if *metricsAddr != "" {
+		metrics = obs.NewMetrics()
+		addr, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "killi-sim: -metrics-addr: %v\n", err)
+			return 1
+		}
+		defer metrics.Close()
+		fmt.Fprintf(os.Stderr, "killi-sim: serving sweep progress at http://%s/metrics\n", addr)
+	}
+
+	// The sweep is one job on the in-process engine — the CLI is a thin
+	// client of the API killi-simd serves over HTTP. One worker: the job's
+	// own Parallelism fans out inside it.
+	svc, err := simserver.New(simserver.Config{
+		CacheDir: *cacheDir,
+		Shards:   *shards,
+		Workers:  1,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+		return 1
+	}
+	res, err := svc.Submit(ctx, simserver.JobRequest{
+		Kind:          simserver.KindSweep,
 		Voltage:       *voltage,
 		RequestsPerCU: *requests,
 		Seed:          *seed,
 		WarmupKernels: *warmup,
-		Parallelism:   *parallel,
 		Shards:        *shards,
-		CacheDir:      *cacheDir,
+		Parallelism:   *parallel,
+		Workloads:     experiments.SplitList(*workloads),
+	})
+	if ctx.Err() != nil {
+		// Interrupted: force the drain with an already-expired context so
+		// workers stop at their next kernel boundary and the engine sweeps
+		// stranded cache temp files, then report the interruption.
+		expired, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = svc.Close(expired)
+		fmt.Fprintln(os.Stderr, "killi-sim: interrupted")
+		return 130
 	}
-	cfg.Workloads = experiments.SplitList(*workloads)
-	if *metricsAddr != "" {
-		m := obs.NewMetrics()
-		addr, err := m.Serve(*metricsAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "killi-sim: -metrics-addr: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "killi-sim: serving sweep progress at http://%s/metrics\n", addr)
-		cfg.Progress = m.TaskDone
-	}
-	rows, err := experiments.Run(cfg)
 	if err != nil {
+		_ = svc.Close(context.Background())
 		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	if err := svc.Close(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+		return 1
+	}
+
 	switch *fig {
 	case 4:
-		printFig4(rows, *voltage)
+		printFig4(res.Rows, *voltage)
 	case 5:
-		printFig5(rows, *voltage)
+		printFig5(res.Rows, *voltage)
 	case 45:
-		printFig4(rows, *voltage)
+		printFig4(res.Rows, *voltage)
 		fmt.Println()
-		printFig5(rows, *voltage)
+		printFig5(res.Rows, *voltage)
 	}
+	return 0
 }
 
 // observedRun simulates one workload × scheme pair with a Collector
 // attached and writes the requested exports, then prints the run summary —
 // including its own wall-clock, so the observation overhead claim is
 // measured rather than asserted — and the DFH training curve.
-func observedRun(tsPath, tePath, workloadName, schemeName string,
+func observedRun(ctx context.Context, tsPath, tePath, workloadName, schemeName string,
 	voltage float64, requests int, seed uint64, warmup int, epoch uint64, shards int) error {
 	newScheme, err := experiments.SchemeFactoryByName(schemeName)
 	if err != nil {
@@ -161,7 +222,7 @@ func observedRun(tsPath, tePath, workloadName, schemeName string,
 		Shards:        shards,
 	}
 	start := time.Now()
-	res, err := experiments.RunOneObserved(cfg, workloadName, newScheme, voltage, col, epoch)
+	res, err := experiments.RunOneObserved(ctx, cfg, workloadName, newScheme, voltage, col, epoch)
 	wall := time.Since(start)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,7 +20,7 @@ func main() {
 		Seed:          3,
 		Workloads:     []string{"nekbone", "xsbench"},
 	}
-	rows, err := experiments.Run(cfg)
+	rows, err := experiments.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workloadstudy: %v\n", err)
 		os.Exit(1)

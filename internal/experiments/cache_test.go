@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,15 +49,15 @@ func TestWarmRowsBitIdenticalToCold(t *testing.T) {
 
 	uncached := cfg
 	uncached.CacheDir = ""
-	ref, err := Run(uncached)
+	ref, err := Run(context.Background(), uncached)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := Run(cfg)
+	cold, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Run(cfg)
+	warm, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestWarmRowsBitIdenticalToCold(t *testing.T) {
 func TestWarmRunIsServedFromCache(t *testing.T) {
 	dir := t.TempDir()
 	cfg := cacheTestConfig(dir)
-	cold, err := Run(cfg)
+	cold, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestWarmRunIsServedFromCache(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	warm, err := Run(cfg)
+	warm, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestWarmRunIsServedFromCache(t *testing.T) {
 func TestCorruptedEntriesRecomputed(t *testing.T) {
 	dir := t.TempDir()
 	cfg := cacheTestConfig(dir)
-	cold, err := Run(cfg)
+	cold, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestCorruptedEntriesRecomputed(t *testing.T) {
 		}
 	}
 
-	recomputed, err := Run(cfg)
+	recomputed, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestCacheDirCreateFailureSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := cacheTestConfig(filepath.Join(file, "cache"))
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("Run with an unusable cache directory succeeded")
 	}
 }

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -305,13 +306,18 @@ func kernelSeeds(seed uint64, warmups int) []uint64 {
 }
 
 // runKernels drives one simulation through every warmup kernel and returns
-// the measured (final) kernel's result.
-func runKernels(sys *gpu.System, traces *workload.TraceSet) gpu.Result {
+// the measured (final) kernel's result. Cancellation is checked between
+// kernels — one kernel is the unit of work the engine runs to completion,
+// so that is the granularity at which an interrupted run stops.
+func runKernels(ctx context.Context, sys *gpu.System, traces *workload.TraceSet) (gpu.Result, error) {
 	var res gpu.Result
 	for k := 0; k < traces.Kernels(); k++ {
+		if err := ctx.Err(); err != nil {
+			return gpu.Result{}, err
+		}
 		res = sys.Run(traces.Kernel(k))
 	}
-	return res
+	return res, nil
 }
 
 // task is one independent simulation of the sweep: a workload's fault-free
@@ -361,7 +367,12 @@ func cachedResult(c simcache.Result) gpu.Result {
 // nominal voltage plus every scheme at the LV operating point. With
 // cfg.Parallelism > 1 the tasks fan out over a worker pool; the output is
 // identical to the serial sweep in either case.
-func Run(cfg Config) ([]Row, error) {
+//
+// Cancelling ctx stops the sweep at the next kernel boundary of every
+// in-flight task, drains the worker pool, removes any stranded simcache
+// "put-*" temp files, and returns ctx.Err() — an interrupted sweep leaves
+// no partial state behind (pinned by TestRunCancellation).
+func Run(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	base := cfg.baseGPU()
 	specs := Schemes()
@@ -409,7 +420,7 @@ func Run(cfg Config) ([]Row, error) {
 	}
 
 	var tasksDone atomic.Int64
-	runTask := func(t task) gpu.Result {
+	runTask := func(t task) (gpu.Result, error) {
 		g := base
 		var newScheme protection.Factory
 		var schemeName string
@@ -435,24 +446,30 @@ func Run(cfg Config) ([]Row, error) {
 		if store != nil {
 			key = simcache.Key(taskDesc(cfg, g, schemeName, loads[t.workload].Name))
 			if c, ok := store.Get(key); ok {
-				return done(cachedResult(c))
+				return done(cachedResult(c)), nil
 			}
 		}
 		sys := gpu.NewShared(g, newScheme, faults)
 		sys.SetShards(cfg.Shards)
-		res := runKernels(sys, traces[t.workload])
+		res, err := runKernels(ctx, sys, traces[t.workload])
+		if err != nil {
+			return gpu.Result{}, err
+		}
 		if store != nil {
 			// Best-effort: a full disk or read-only cache directory must
 			// not fail the sweep; Store.WriteFailures keeps it observable.
 			_ = store.Put(key, cacheable(res))
 		}
-		return done(res)
+		return done(res), nil
 	}
 
 	results := make([]gpu.Result, len(tasks))
 	if workers := min(cfg.Parallelism, len(tasks)); workers <= 1 {
 		for i, t := range tasks {
-			results[i] = runTask(t)
+			if ctx.Err() != nil {
+				break
+			}
+			results[i], _ = runTask(t)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -462,15 +479,31 @@ func Run(cfg Config) ([]Row, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i] = runTask(tasks[i])
+					if ctx.Err() != nil {
+						continue // drain the channel without starting work
+					}
+					results[i], _ = runTask(tasks[i])
 				}
 			}()
 		}
+	feed:
 		for i := range tasks {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		// Every worker has drained; any Put a worker was interrupted before
+		// finishing (or a previous crash stranded) is safe to sweep now.
+		if store != nil {
+			_, _ = store.RemoveTemps()
+		}
+		return nil, err
 	}
 
 	// Deterministic merge: rows in workload order, every scheme keyed by
@@ -502,8 +535,9 @@ func Run(cfg Config) ([]Row, error) {
 // returns the raw result — the building block the examples use. It follows
 // Run's kernel semantics: cfg.WarmupKernels unmeasured warmup kernels
 // precede the measured one, each re-walking the workload's data structures
-// in a fresh request order.
-func RunOne(cfg Config, workloadName string, newScheme protection.Factory, voltage float64) (gpu.Result, error) {
+// in a fresh request order. Cancelling ctx stops the run at the next
+// kernel boundary and returns ctx.Err().
+func RunOne(ctx context.Context, cfg Config, workloadName string, newScheme protection.Factory, voltage float64) (gpu.Result, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName(workloadName)
 	if err != nil {
@@ -514,7 +548,44 @@ func RunOne(cfg Config, workloadName string, newScheme protection.Factory, volta
 	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
 	sys := gpu.New(g, newScheme)
 	sys.SetShards(cfg.Shards)
-	return runKernels(sys, traces), nil
+	return runKernels(ctx, sys, traces)
+}
+
+// RunOneNamed is RunOne with the scheme given by its SchemeSyntax name and,
+// when cfg.CacheDir is set, the content-addressed result cache consulted
+// first. The cache key is the same per-task description the sweep uses, so
+// a completed sweep warms identical single runs and vice versa — this is
+// the fast path behind killi-simd's warm (cache-hit) requests. Cached
+// results carry no debug Counters, exactly as in Run.
+func RunOneNamed(ctx context.Context, cfg Config, workloadName, schemeName string, voltage float64) (gpu.Result, error) {
+	cfg = cfg.withDefaults()
+	newScheme, err := SchemeFactoryByName(schemeName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	if cfg.CacheDir == "" {
+		return RunOne(ctx, cfg, workloadName, newScheme, voltage)
+	}
+	if _, err := workload.ByName(workloadName); err != nil {
+		return gpu.Result{}, err
+	}
+	store, err := simcache.Open(cfg.CacheDir)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	g := cfg.baseGPU()
+	g.Voltage = voltage
+	key := simcache.Key(taskDesc(cfg, g, schemeName, workloadName))
+	if c, ok := store.Get(key); ok {
+		return cachedResult(c), nil
+	}
+	res, err := RunOne(ctx, cfg, workloadName, newScheme, voltage)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	// Best-effort, as in Run: a failed Put must not fail the simulation.
+	_ = store.Put(key, cacheable(res))
+	return res, nil
 }
 
 // RunOneObserved is RunOne with an observability sink attached before the
@@ -523,7 +594,7 @@ func RunOne(cfg Config, workloadName string, newScheme protection.Factory, volta
 // gpu.DefaultEpochCycles). The simulated machine is bit-identical to the
 // unobserved RunOne — sampling only reads state — so the returned Result
 // matches RunOne exactly (pinned by TestGoldenCounterDigestObserved).
-func RunOneObserved(cfg Config, workloadName string, newScheme protection.Factory, voltage float64, o obs.Observer, epochCycles uint64) (gpu.Result, error) {
+func RunOneObserved(ctx context.Context, cfg Config, workloadName string, newScheme protection.Factory, voltage float64, o obs.Observer, epochCycles uint64) (gpu.Result, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName(workloadName)
 	if err != nil {
@@ -535,5 +606,31 @@ func RunOneObserved(cfg Config, workloadName string, newScheme protection.Factor
 	sys := gpu.New(g, newScheme)
 	sys.SetShards(cfg.Shards)
 	sys.SetObserver(o, epochCycles)
-	return runKernels(sys, traces), nil
+	return runKernels(ctx, sys, traces)
+}
+
+// ValidateFlags rejects CLI knob combinations that would panic downstream
+// or silently oversubscribe the machine, with one-line errors killi-sim
+// and killi-simd print verbatim. maxProcs is the GOMAXPROCS budget
+// (parameterized for tests). parallel follows the Config.Parallelism
+// convention: -1 auto-budgets GOMAXPROCS/shards, positive is an explicit
+// worker count; 0 and other negatives are rejected as ambiguous. An
+// explicit parallel × shards product more than 8× over maxProcs is a
+// configuration mistake (each unit is a busy goroutine), not a tuning
+// choice, and is rejected rather than thrashed on.
+func ValidateFlags(requests, parallel, shards, maxProcs int) error {
+	if requests <= 0 {
+		return fmt.Errorf("-requests must be a positive per-CU trace length, got %d", requests)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if parallel == 0 || parallel < -1 {
+		return fmt.Errorf("-parallel must be -1 (auto: GOMAXPROCS/shards) or a positive worker count, got %d", parallel)
+	}
+	if parallel > 0 && maxProcs > 0 && parallel*shards > 8*maxProcs {
+		return fmt.Errorf("-parallel %d x -shards %d = %d concurrent workers oversubscribes GOMAXPROCS=%d by more than 8x; lower one or use -parallel -1 to auto-budget",
+			parallel, shards, parallel*shards, maxProcs)
+	}
+	return nil
 }

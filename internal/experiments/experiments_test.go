@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"killi/internal/gpu"
@@ -42,7 +43,7 @@ func TestSchemesCatalog(t *testing.T) {
 }
 
 func TestRunProducesCompleteRows(t *testing.T) {
-	rows, err := Run(Config{
+	rows, err := Run(context.Background(), Config{
 		RequestsPerCU: 800,
 		Workloads:     []string{"nekbone", "xsbench"},
 		GPU:           smallGPU(),
@@ -72,7 +73,7 @@ func TestRunProducesCompleteRows(t *testing.T) {
 }
 
 func TestRunUnknownWorkloadErrors(t *testing.T) {
-	if _, err := Run(Config{Workloads: []string{"nope"}, GPU: smallGPU(), RequestsPerCU: 10}); err == nil {
+	if _, err := Run(context.Background(), Config{Workloads: []string{"nope"}, GPU: smallGPU(), RequestsPerCU: 10}); err == nil {
 		t.Fatal("unknown workload did not error")
 	}
 }
@@ -96,7 +97,7 @@ func TestSchemeNamesStable(t *testing.T) {
 }
 
 func TestRunOne(t *testing.T) {
-	res, err := RunOne(Config{RequestsPerCU: 500, GPU: smallGPU()},
+	res, err := RunOne(context.Background(), Config{RequestsPerCU: 500, GPU: smallGPU()},
 		"lulesh", func() protection.Scheme { return protection.NewSECDEDPerLine() }, 0.625)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +105,7 @@ func TestRunOne(t *testing.T) {
 	if res.Cycles == 0 || res.Instructions == 0 {
 		t.Fatal("degenerate RunOne result")
 	}
-	if _, err := RunOne(Config{GPU: smallGPU(), RequestsPerCU: 10},
+	if _, err := RunOne(context.Background(), Config{GPU: smallGPU(), RequestsPerCU: 10},
 		"nope", func() protection.Scheme { return protection.NewNone() }, 1.0); err == nil {
 		t.Fatal("unknown workload did not error")
 	}
@@ -183,11 +184,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	serial.Parallelism = 1
 	par := cfg
 	par.Parallelism = 8
-	want, err := Run(serial)
+	want, err := Run(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Run(par)
+	got, err := Run(context.Background(), par)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"testing"
@@ -16,7 +17,7 @@ import (
 // interned-counter / typed-heap / content-model rewrite changed no
 // statistic. The exact Result fields are pinned alongside.
 func TestGoldenCounterDigest(t *testing.T) {
-	res, err := RunOne(Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
+	res, err := RunOne(context.Background(), Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
 		func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 0.625)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +49,7 @@ func TestGoldenCounterDigest(t *testing.T) {
 // sanity-checks what the collector saw.
 func TestGoldenCounterDigestObserved(t *testing.T) {
 	col := obs.NewCollector()
-	res, err := RunOneObserved(Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
+	res, err := RunOneObserved(context.Background(), Config{RequestsPerCU: 800, Seed: 1}, "xsbench",
 		func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, 0.625, col, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"testing"
@@ -39,7 +40,7 @@ func ratioName(r int) string { return "killi-1:" + strconv.Itoa(r) }
 
 func TestFig45Shape(t *testing.T) {
 	short := testing.Short()
-	rows, err := Run(shapeConfig(short))
+	rows, err := Run(context.Background(), shapeConfig(short))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestSweepRowsShardInvariant pins the sweep-level half of the sharded
 // engine's determinism contract: a full Run at Shards=4 (each simulation
@@ -15,13 +18,13 @@ func TestSweepRowsShardInvariant(t *testing.T) {
 		WarmupKernels: 1,
 		Parallelism:   1,
 	}
-	ref, err := Run(base)
+	ref, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sharded := base
 	sharded.Shards = 4
-	got, err := Run(sharded)
+	got, err := Run(context.Background(), sharded)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"killi/internal/killi"
@@ -22,13 +23,13 @@ func TestRunSharedMapsMatchRunOne(t *testing.T) {
 		Workloads:     []string{"xsbench"},
 		WarmupKernels: 1,
 	}
-	rows, err := Run(cfg)
+	rows, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	row := rows[0]
 
-	baseRes, err := RunOne(cfg, "xsbench", func() protection.Scheme { return protection.NewNone() }, 1.0)
+	baseRes, err := RunOne(context.Background(), cfg, "xsbench", func() protection.Scheme { return protection.NewNone() }, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestRunSharedMapsMatchRunOne(t *testing.T) {
 		t.Fatalf("baseline MPKI diverges: RunOne %v, Run %v", got, want)
 	}
 
-	res, err := RunOne(cfg, "xsbench", func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, cfg.Voltage)
+	res, err := RunOne(context.Background(), cfg, "xsbench", func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, cfg.Voltage)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +66,12 @@ func TestRunOneHonorsWarmupKernels(t *testing.T) {
 		RequestsPerCU: 400,
 		Seed:          1,
 	}
-	cold, err := RunOne(cfg, "xsbench", func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, cfg.Voltage)
+	cold, err := RunOne(context.Background(), cfg, "xsbench", func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, cfg.Voltage)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.WarmupKernels = 1
-	warm, err := RunOne(cfg, "xsbench", func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, cfg.Voltage)
+	warm, err := RunOne(context.Background(), cfg, "xsbench", func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }, cfg.Voltage)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -21,6 +22,9 @@ type Metrics struct {
 	tasksTotal expvar.Int
 	tasksDone  expvar.Int
 	vars       *expvar.Map
+
+	mu  sync.Mutex
+	srv *http.Server
 }
 
 // NewMetrics returns a Metrics with zeroed counters.
@@ -64,16 +68,42 @@ func (m *Metrics) Handler() http.Handler {
 	return mux
 }
 
+// Set publishes an additional var in the /metrics document under name —
+// the hook long-running hosts (killi-simd) use to add their own gauges and
+// counters (queue depth, jobs served) next to the sweep-progress vars.
+func (m *Metrics) Set(name string, v expvar.Var) { m.vars.Set(name, v) }
+
 // Serve starts the HTTP endpoint on addr (e.g. "localhost:8060"; a ":0"
 // port picks a free one) and returns the bound address. The server runs on
-// a background goroutine for the life of the process — sweep tools exit
-// when done, so there is no graceful-shutdown dance.
+// a background goroutine until Close; a Metrics serves at most one address
+// at a time.
 func (m *Metrics) Serve(addr string) (net.Addr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.srv != nil {
+		return nil, fmt.Errorf("obs: Metrics is already serving")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{Handler: m.Handler()}
+	m.srv = srv
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), nil
+}
+
+// Close stops the metrics endpoint, releasing its listener and closing any
+// active connections. It is a no-op on a Metrics that never served (or has
+// already been closed), so hosts can defer it unconditionally; after Close
+// the Metrics may Serve again on a fresh address.
+func (m *Metrics) Close() error {
+	m.mu.Lock()
+	srv := m.srv
+	m.srv = nil
+	m.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
 }

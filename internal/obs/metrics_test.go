@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -70,4 +71,61 @@ func TestMetricsProgressZeroTotal(t *testing.T) {
 func TestMetricsNoGlobalCollision(t *testing.T) {
 	_ = NewMetrics()
 	_ = NewMetrics()
+}
+
+// TestMetricsClose pins the listener-leak fix: Close must release the bound
+// port (a second Serve on the same address succeeds) and refuse requests
+// afterwards, double-Close and Close-before-Serve are no-ops, and a Metrics
+// cannot serve two addresses at once.
+func TestMetricsClose(t *testing.T) {
+	m := NewMetrics()
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close before Serve: %v", err)
+	}
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if _, err := m.Serve("127.0.0.1:0"); err == nil {
+		t.Fatal("second concurrent Serve succeeded, want already-serving error")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatalf("GET while serving: %v", err)
+	}
+	resp.Body.Close()
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("GET after Close succeeded, want connection refused")
+	}
+	// The port is free again: rebinding the exact address must work.
+	if _, err := m.Serve(addr.String()); err != nil {
+		t.Fatalf("re-Serve on the closed address: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("final Close: %v", err)
+	}
+}
+
+// TestMetricsSet pins the extension hook: vars published with Set appear in
+// the /metrics document alongside the built-in sweep vars.
+func TestMetricsSet(t *testing.T) {
+	m := NewMetrics()
+	var queue expvar.Int
+	queue.Set(7)
+	m.Set("queue_depth", &queue)
+	var doc struct {
+		Queue int64 `json:"queue_depth"`
+	}
+	if err := json.Unmarshal([]byte(m.vars.String()), &doc); err != nil {
+		t.Fatalf("decode vars: %v", err)
+	}
+	if doc.Queue != 7 {
+		t.Errorf("queue_depth = %d, want 7", doc.Queue)
+	}
 }

@@ -16,9 +16,13 @@
 //   - entries record the schema version; bump SchemaVersion whenever the
 //     simulator's observable behavior changes so stale results from older
 //     binaries are never served;
-//   - writes go through a temp file and an atomic rename, so concurrent
-//     writers (the sweep worker pool) and crashes leave either the old
-//     entry, the new entry, or nothing — never a torn file.
+//   - writes go through a temp file that is fsynced before an atomic
+//     rename (and the directory entry is fsynced after it), so concurrent
+//     writers (the sweep worker pool) and crashes — including power loss
+//     straddling the rename — leave either the old entry, the new entry,
+//     or nothing: never a torn file;
+//   - an interrupted writer can strand "put-*" temp files; RemoveTemps
+//     sweeps them, and experiments.Run calls it when a sweep is cancelled.
 //
 // The cache holds only the scalar result of a task (cycles, instruction and
 // miss counts, disabled lines) — everything the sweep merge consumes. Debug
@@ -145,16 +149,65 @@ func (s *Store) Put(key string, r Result) error {
 		return fmt.Errorf("simcache: %w", err)
 	}
 	_, werr := tmp.Write(buf)
+	// Sync before the rename: without it a crash shortly after Put can
+	// persist the rename but not the data, leaving a torn entry that every
+	// later Get would have to detect and recompute.
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		s.writeFailures.Add(1)
-		return fmt.Errorf("simcache: writing %s: write=%v close=%v", key, werr, cerr)
+		return fmt.Errorf("simcache: writing %s: write=%v sync=%v close=%v", key, werr, serr, cerr)
 	}
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		s.writeFailures.Add(1)
 		return fmt.Errorf("simcache: %w", err)
 	}
+	if err := s.syncDir(); err != nil {
+		// The entry itself is durable and well-formed; only the rename's
+		// directory update may still be unflushed. Count it, don't fail.
+		s.writeFailures.Add(1)
+		return fmt.Errorf("simcache: syncing %s: %w", s.dir, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs the cache directory so a completed rename survives a
+// crash. Filesystems that cannot fsync a directory report the error to the
+// caller via Put.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// RemoveTemps deletes stranded "put-*" temp files from the cache directory
+// and reports how many it removed. Completed entries are untouched. Call it
+// only when no writer is mid-Put on this directory — e.g. after a cancelled
+// sweep's workers have drained — since it would yank a live writer's temp
+// file out from under it (that Put would then fail, which Put callers
+// already treat as best-effort).
+func (s *Store) RemoveTemps() (int, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "put-*"))
+	if err != nil {
+		return 0, fmt.Errorf("simcache: %w", err)
+	}
+	removed := 0
+	var firstErr error
+	for _, m := range matches {
+		switch err := os.Remove(m); {
+		case err == nil:
+			removed++
+		case firstErr == nil && !os.IsNotExist(err):
+			firstErr = fmt.Errorf("simcache: %w", err)
+		}
+	}
+	return removed, firstErr
 }

@@ -175,6 +175,42 @@ func TestPutLeavesNoTempFiles(t *testing.T) {
 	}
 }
 
+func TestRemoveTempsSweepsOnlyTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("kept")
+	if err := s.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate two interrupted writers stranding temps mid-Put.
+	for _, name := range []string{"put-1234", "put-deadbeef"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.RemoveTemps()
+	if err != nil {
+		t.Fatalf("RemoveTemps: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("RemoveTemps removed %d files, want 2", n)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "put-*"))
+	if err != nil || len(leftovers) != 0 {
+		t.Fatalf("temp files survived the sweep: %v (err %v)", leftovers, err)
+	}
+	if got, ok := s.Get(key); !ok || got != testResult() {
+		t.Fatalf("completed entry damaged by RemoveTemps: ok=%v got=%+v", ok, got)
+	}
+	// Idempotent on an already-clean directory.
+	if n, err := s.RemoveTemps(); err != nil || n != 0 {
+		t.Fatalf("second RemoveTemps = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
 func TestOpenCreatesDirectory(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "nested", "cache")
 	s, err := Open(dir)

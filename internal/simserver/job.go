@@ -1,0 +1,197 @@
+// Package simserver is the resident simulation service behind cmd/killi-simd:
+// a job engine that accepts single-run and sweep requests, dedupes identical
+// in-flight requests (singleflight-style coalescing keyed on the simcache
+// SHA-256 digest of the job's result-determining inputs), bounds concurrent
+// work with a worker pool budgeted against GOMAXPROCS (shards × workers),
+// applies backpressure when the queue is full, streams per-epoch obs samples
+// to observe subscribers, and drains gracefully on shutdown.
+//
+// cmd/killi-sim submits its sweep through the same in-process API, so the
+// CLI and the daemon share one validation, caching, cancellation, and
+// metrics path; cmd/killi-simd puts the HTTP/JSON layer (Handler) in front
+// of it. Results are bit-identical to direct experiments calls — the engine
+// adds scheduling, never simulation semantics.
+package simserver
+
+import (
+	"fmt"
+	"strings"
+
+	"killi/internal/experiments"
+	"killi/internal/gpu"
+	"killi/internal/simcache"
+	"killi/internal/workload"
+)
+
+// Job kinds.
+const (
+	KindSweep = "sweep" // the Figure 4/5 workload × scheme grid
+	KindRun   = "run"   // one workload × scheme simulation
+)
+
+// JobRequest describes one job. The zero value of every optional field
+// means "the default" (mirroring the experiments.Config conventions), and
+// normalization makes the defaults explicit so identical jobs written
+// differently — {} vs {"seed":1} — coalesce and cache identically.
+//
+// The GPU model is always the paper's Table 3 configuration; jobs
+// parameterize the operating point, trace, and protection scheme around it.
+type JobRequest struct {
+	// Kind is KindSweep or KindRun.
+	Kind string `json:"kind"`
+	// Voltage is the LV operating point (default 0.625).
+	Voltage float64 `json:"voltage,omitempty"`
+	// RequestsPerCU is the trace length per compute unit (default 4000).
+	RequestsPerCU int `json:"requests_per_cu,omitempty"`
+	// Seed drives trace generation and fault sampling (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// WarmupKernels precede the measured kernel (default 0).
+	WarmupKernels int `json:"warmup_kernels,omitempty"`
+	// Shards is the per-simulation shard count (default: the server's).
+	// Results are bit-identical at every value, so it does not participate
+	// in the job key.
+	Shards int `json:"shards,omitempty"`
+	// Parallelism bounds a sweep's internal worker pool (default: the
+	// server budget). Like Shards it never changes results, only wall-clock.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Workloads restricts a sweep (default: the full ten-workload catalog).
+	Workloads []string `json:"workloads,omitempty"`
+	// Workload and Scheme select a run job's pair (Scheme uses the
+	// experiments.SchemeSyntax grammar).
+	Workload string `json:"workload,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	// EpochCycles sets the sampling epoch for observe streams (default
+	// gpu.DefaultEpochCycles). Ignored for plain jobs.
+	EpochCycles uint64 `json:"epoch_cycles,omitempty"`
+}
+
+// normalized returns the request with every default made explicit, or a
+// one-line validation error. maxProcs parameterizes the oversubscription
+// check exactly as experiments.ValidateFlags.
+func (r JobRequest) normalized(defaultShards, maxProcs int) (JobRequest, error) {
+	switch r.Kind {
+	case KindSweep, KindRun:
+	case "":
+		return r, fmt.Errorf(`job kind is required ("%s" or "%s")`, KindSweep, KindRun)
+	default:
+		return r, fmt.Errorf("unknown job kind %q (want %q or %q)", r.Kind, KindSweep, KindRun)
+	}
+	if r.Voltage == 0 {
+		r.Voltage = 0.625
+	}
+	if r.Voltage < 0 || r.Voltage > 2 {
+		return r, fmt.Errorf("voltage %.3f is outside the plausible (0, 2] x VDD range", r.Voltage)
+	}
+	if r.RequestsPerCU == 0 {
+		r.RequestsPerCU = 4000
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.WarmupKernels < 0 {
+		return r, fmt.Errorf("warmup_kernels must be >= 0, got %d", r.WarmupKernels)
+	}
+	if r.Shards == 0 {
+		r.Shards = defaultShards
+	}
+	if r.Parallelism == 0 {
+		r.Parallelism = -1
+	}
+	if err := experiments.ValidateFlags(r.RequestsPerCU, r.Parallelism, r.Shards, maxProcs); err != nil {
+		return r, err
+	}
+	if r.EpochCycles == 0 {
+		r.EpochCycles = gpu.DefaultEpochCycles
+	}
+	switch r.Kind {
+	case KindRun:
+		if len(r.Workloads) != 0 {
+			return r, fmt.Errorf(`"workloads" is a sweep field; a run job takes "workload"`)
+		}
+		if r.Workload == "" || r.Scheme == "" {
+			return r, fmt.Errorf(`a run job needs "workload" and "scheme"`)
+		}
+		if _, err := workload.ByName(r.Workload); err != nil {
+			return r, err
+		}
+		if _, err := experiments.SchemeByName(r.Scheme); err != nil {
+			return r, err
+		}
+	case KindSweep:
+		if r.Workload != "" || r.Scheme != "" {
+			return r, fmt.Errorf(`"workload"/"scheme" are run fields; a sweep job takes "workloads"`)
+		}
+		if len(r.Workloads) == 0 {
+			for _, w := range workload.Catalog() {
+				r.Workloads = append(r.Workloads, w.Name)
+			}
+		}
+		for _, name := range r.Workloads {
+			if _, err := workload.ByName(name); err != nil {
+				return r, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// key is the job's content address: the simcache SHA-256 digest of its
+// result-determining inputs. Shards and Parallelism are deliberately
+// excluded — results are bit-identical at every value of either (pinned by
+// the shard/parallelism invariance tests in internal/experiments), so jobs
+// differing only in execution knobs coalesce into one simulation.
+func (r JobRequest) key() string {
+	return simcache.Key(fmt.Sprintf(
+		"simserver-job/v1\nkind=%s\nvoltage=%.17g\nrequests=%d\nseed=%d\nwarmup=%d\nworkloads=%s\nworkload=%s\nscheme=%s",
+		r.Kind, r.Voltage, r.RequestsPerCU, r.Seed, r.WarmupKernels,
+		strings.Join(r.Workloads, ","), r.Workload, r.Scheme))
+}
+
+// config translates the normalized request into the experiments.Config its
+// execution uses. CacheDir comes from the server, Progress is attached by
+// the executor.
+func (r JobRequest) config(cacheDir string) experiments.Config {
+	return experiments.Config{
+		Voltage:       r.Voltage,
+		RequestsPerCU: r.RequestsPerCU,
+		Seed:          r.Seed,
+		WarmupKernels: r.WarmupKernels,
+		Parallelism:   r.Parallelism,
+		Shards:        r.Shards,
+		CacheDir:      cacheDir,
+		Workloads:     r.Workloads,
+	}
+}
+
+// RunResult is the scalar outcome of a run job.
+type RunResult struct {
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	L2Misses      uint64  `json:"l2_misses"`
+	L2Accesses    uint64  `json:"l2_accesses"`
+	MemAccesses   uint64  `json:"mem_accesses"`
+	DisabledLines int     `json:"disabled_lines"`
+	L2MPKI        float64 `json:"l2_mpki"`
+}
+
+// JobResult is a completed job as returned to every (possibly coalesced)
+// submitter.
+type JobResult struct {
+	Kind string `json:"kind"`
+	// Key is the job's content address, also usable as an ETag.
+	Key string `json:"key"`
+	// Rows carries a sweep's Figure 4/5 rows.
+	Rows []experiments.Row `json:"rows,omitempty"`
+	// Run carries a run job's result.
+	Run *RunResult `json:"run,omitempty"`
+	// Cached reports that a run job was served from the content-addressed
+	// result cache without simulating (sweeps cache per-task; their flag
+	// stays false even when every task hit).
+	Cached bool `json:"cached"`
+	// Coalesced reports that this submitter joined another submitter's
+	// in-flight execution of the identical job.
+	Coalesced bool `json:"coalesced"`
+	// ElapsedSeconds is the executor's wall-clock for the job (coalesced
+	// submitters see the leader's).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}

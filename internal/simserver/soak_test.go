@@ -1,0 +1,178 @@
+package simserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// soakJob renders the i-th distinct job body of the soak grid.
+func soakJob(i int) string {
+	schemes := []string{"killi-1:64", "killi-1:16", "flair", "dected"}
+	return fmt.Sprintf(
+		`{"kind":"run","workload":"xsbench","scheme":"%s","requests_per_cu":300,"seed":%d}`,
+		schemes[i%len(schemes)], 1+i/len(schemes))
+}
+
+// postJob submits one job body, retrying on 429 by honoring Retry-After
+// (capped well below the test deadline). It returns the decoded response.
+func postJob(t *testing.T, url, body string) (map[string]any, time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		start := time.Now()
+		resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		elapsed := time.Since(start)
+		var doc map[string]any
+		derr := json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if derr != nil {
+				t.Fatalf("decoding 200 response: %v", derr)
+			}
+			return doc, elapsed
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("server stayed busy past the soak deadline")
+			}
+			time.Sleep(50 * time.Millisecond)
+		default:
+			t.Fatalf("status %d: %v", resp.StatusCode, doc)
+		}
+	}
+}
+
+// TestServerSoak is the load harness behind the "heavy traffic" story: a
+// concurrent client fleet drives the HTTP API cold (every job simulates)
+// and then hot (every job is a cache hit), asserting
+//
+//   - every request eventually succeeds (backpressure is 429 + retry,
+//     never a hang or a 500),
+//   - identical requests return identical results across the whole soak
+//     (bit-stable scalars, any concurrency),
+//   - no duplicate simulation: after the cold pass, every response is
+//     flagged cached (served by the content-addressed store) or coalesced
+//     (joined an in-flight leader) — nothing simulates twice,
+//   - the best warm round-trip stays under 10ms — the microsecond-class
+//     cache read plus local HTTP, nowhere near simulation time.
+//
+// -short trims the grid and fleet; CI runs the short form on every push.
+func TestServerSoak(t *testing.T) {
+	jobs, clients, rounds := 8, 8, 6
+	if testing.Short() {
+		jobs, clients, rounds = 4, 4, 3
+	}
+	s := newTestServer(t, Config{CacheDir: t.TempDir(), QueueDepth: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Cold phase: the distinct grid, all at once, from one goroutine per
+	// job. Coalescing is incidental here (distinct bodies), the queue and
+	// backpressure do the work.
+	reference := make([]map[string]any, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doc, _ := postJob(t, ts.URL, soakJob(i))
+			reference[i] = doc
+		}(i)
+	}
+	wg.Wait()
+	for i, doc := range reference {
+		if doc["run"] == nil {
+			t.Fatalf("cold job %d: no run payload: %v", i, doc)
+		}
+	}
+
+	// Hot phase: a client fleet hammers random jobs from the same grid for
+	// several rounds. Every response must now be cache-served and match
+	// the cold reference exactly.
+	var best time.Duration = time.Hour
+	var bestMu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for r := 0; r < rounds; r++ {
+				i := rng.Intn(jobs)
+				doc, elapsed := postJob(t, ts.URL, soakJob(i))
+				if doc["cached"] != true && doc["coalesced"] != true {
+					t.Errorf("hot request for job %d simulated again: %v", i, doc)
+					return
+				}
+				if fmt.Sprint(doc["run"]) != fmt.Sprint(reference[i]["run"]) {
+					t.Errorf("hot job %d diverged from cold reference:\nhot  %v\ncold %v",
+						i, doc["run"], reference[i]["run"])
+					return
+				}
+				bestMu.Lock()
+				if elapsed < best {
+					best = elapsed
+				}
+				bestMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if best > 10*time.Millisecond {
+		t.Errorf("best warm request took %v, want < 10ms (cache-hit serving must be I/O-class, not simulation-class)", best)
+	}
+}
+
+// TestServerSoakSweepDeterminism drives concurrent identical sweep jobs
+// through the in-process API and checks every submitter sees bit-identical
+// rows — the Run determinism contract surviving the queue and coalescing.
+func TestServerSoakSweepDeterminism(t *testing.T) {
+	s := newTestServer(t, Config{CacheDir: t.TempDir(), Workers: 2, QueueDepth: 32})
+	ctx := context.Background()
+	req := JobRequest{Kind: KindSweep, Workloads: []string{"xsbench", "fft"}, RequestsPerCU: 300}
+
+	const n = 6
+	var wg sync.WaitGroup
+	results := make([]*JobResult, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Submit(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	want, err := json.Marshal(results[0].Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("sweep %d: %v", i, errs[i])
+		}
+		got, err := json.Marshal(results[i].Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("sweep %d rows diverge", i)
+		}
+	}
+}
