@@ -20,6 +20,12 @@
 //   - shard_curve_single_run_seconds: the single-run wall-clock at
 //     K = 1, 2, 4, 8 shards (always measured serially per point), the
 //     scaling table EXPERIMENTS.md cites;
+//   - single_run_cycles, single_run_serial_timestamps and
+//     single_run_rounds_k4: the tracked run's deterministic scheduling
+//     ledger — simulated cycles, the serial engine's distinct event
+//     timestamps (the barrier rounds a per-timestamp scheduler needs), and
+//     the K=4 coalesced round count. Pure functions of the simulation, so
+//     they gate lookahead coalescing exactly even on a 1-core host;
 //   - server_cold_rps and server_hot_rps: requests per second through the
 //     killi-simd job API (internal/simserver over HTTP) — cold drives
 //     distinct jobs that all simulate, hot replays them against the warm
@@ -35,6 +41,14 @@
 // ms-scale, I/O-bound sweep_warm_seconds), when allocs_per_event is
 // nonzero, or when any gated baseline field is zero — a zero baseline
 // means the gate would silently pass, so it is an error, not a skip.
+// The deterministic scheduling gates are exact: cycles and serial
+// timestamps must match the baseline bit-for-bit (a change means the
+// simulation's semantics moved — rebase deliberately, with the goldens),
+// single_run_rounds_k4 may only decrease, and rounds_k4 × 5 <= cycles
+// pins the coalescing win over the per-cycle round structure. The shard
+// curve gates by host width: on >= 4 CPUs, K=4 must be >= 2x faster than
+// K=1; on narrower hosts (where the curve is honestly overhead-only) each
+// point must stay within 1.5x of the recorded baseline curve.
 package main
 
 import (
@@ -46,6 +60,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -53,6 +68,7 @@ import (
 
 	"killi/internal/engine"
 	"killi/internal/experiments"
+	"killi/internal/gpu"
 	"killi/internal/killi"
 	"killi/internal/protection"
 	"killi/internal/simserver"
@@ -67,12 +83,21 @@ type point struct {
 	SweepWarmSeconds float64 `json:"sweep_warm_seconds"`
 	ServerColdRPS    float64 `json:"server_cold_rps"`
 	ServerHotRPS     float64 `json:"server_hot_rps"`
+	// Deterministic scheduling ledger of the tracked single run: exact
+	// integers stored as float64 so the struct stays comparable and the
+	// JSON stays uniform. Identical on every host at a given commit.
+	SingleRunCycles           float64 `json:"single_run_cycles"`
+	SingleRunSerialTimestamps float64 `json:"single_run_serial_timestamps"`
+	SingleRunRoundsK4         float64 `json:"single_run_rounds_k4"`
 }
 
 type report struct {
 	Baseline   point              `json:"baseline"`
 	Current    point              `json:"current"`
 	ShardCurve map[string]float64 `json:"shard_curve_single_run_seconds,omitempty"`
+	// ShardCurveBaseline is the committed reference curve the narrow-host
+	// regression gate compares against (preserved like Baseline).
+	ShardCurveBaseline map[string]float64 `json:"shard_curve_baseline_seconds,omitempty"`
 }
 
 const eventsPerIter = 100
@@ -135,8 +160,10 @@ func benchSweep(cacheDir string, shards int) (float64, error) {
 }
 
 // benchSingle measures one simulation's wall-clock (best of three) at the
-// given shard count: the sweep's memory-bound cell, xsbench × killi-1:64.
-func benchSingle(shards int) (float64, error) {
+// given shard count — the sweep's memory-bound cell, xsbench × killi-1:64
+// — and returns the run's result, whose Sched ledger carries the
+// deterministic round/timestamp counters for that shard count.
+func benchSingle(shards int) (float64, gpu.Result, error) {
 	cfg := experiments.Config{
 		Voltage:       0.625,
 		RequestsPerCU: 2500,
@@ -145,16 +172,19 @@ func benchSingle(shards int) (float64, error) {
 	}
 	newScheme := func() protection.Scheme { return killi.New(killi.Config{Ratio: 64}) }
 	best := 0.0
+	var res gpu.Result
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		if _, err := experiments.RunOne(context.Background(), cfg, "xsbench", newScheme, cfg.Voltage); err != nil {
-			return 0, err
+		r, err := experiments.RunOne(context.Background(), cfg, "xsbench", newScheme, cfg.Voltage)
+		if err != nil {
+			return 0, gpu.Result{}, err
 		}
+		res = r
 		if s := time.Since(start).Seconds(); i == 0 || s < best {
 			best = s
 		}
 	}
-	return best, nil
+	return best, res, nil
 }
 
 // benchServer measures request throughput through the killi-simd job API:
@@ -260,6 +290,63 @@ func enforce(baseline, cur point) []string {
 		bad = append(bad, fmt.Sprintf("allocs_per_event %.2f, want 0 (steady state must stay allocation-free)",
 			cur.AllocsPerEvent))
 	}
+	// Deterministic scheduling gates: these counters are pure functions of
+	// the simulation, so they compare exactly, not by ratio.
+	for _, g := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"single_run_cycles", baseline.SingleRunCycles, cur.SingleRunCycles},
+		{"single_run_serial_timestamps", baseline.SingleRunSerialTimestamps, cur.SingleRunSerialTimestamps},
+	} {
+		if g.base == 0 {
+			bad = append(bad, fmt.Sprintf("%s baseline is 0 — rebase the baseline (delete the file and rerun)", g.name))
+		} else if g.cur != g.base {
+			bad = append(bad, fmt.Sprintf("%s %.0f differs from baseline %.0f — simulation semantics moved; rebase deliberately, with the goldens",
+				g.name, g.cur, g.base))
+		}
+	}
+	switch {
+	case baseline.SingleRunRoundsK4 == 0:
+		bad = append(bad, "single_run_rounds_k4 baseline is 0 — rebase the baseline (delete the file and rerun)")
+	case cur.SingleRunRoundsK4 > baseline.SingleRunRoundsK4:
+		bad = append(bad, fmt.Sprintf("single_run_rounds_k4 %.0f exceeds baseline %.0f — lookahead coalescing regressed",
+			cur.SingleRunRoundsK4, baseline.SingleRunRoundsK4))
+	}
+	if cur.SingleRunRoundsK4*5 > cur.SingleRunCycles {
+		bad = append(bad, fmt.Sprintf("single_run_rounds_k4 %.0f × 5 exceeds single_run_cycles %.0f — barrier rounds must stay >= 5x below the per-cycle round structure",
+			cur.SingleRunRoundsK4, cur.SingleRunCycles))
+	}
+	return bad
+}
+
+// enforceCurve gates the shard-scaling curve by host width: a host with at
+// least four CPUs must show the real parallel win (K=4 at least 2x faster
+// than K=1); a narrower host cannot, so it gates each recorded point
+// against the committed baseline curve instead (1.5x — wall-clock on
+// loaded CI runners is noisy, but a doubling still fails).
+func enforceCurve(baseline, cur map[string]float64, ncpu int) []string {
+	var bad []string
+	if ncpu >= 4 {
+		k1, k4 := cur["1"], cur["4"]
+		if k1 == 0 || k4 == 0 {
+			bad = append(bad, "shard curve is missing the K=1 or K=4 point")
+		} else if k4 > k1/2 {
+			bad = append(bad, fmt.Sprintf("K=4 single run %.3fs is not >= 2x faster than K=1 %.3fs on a %d-CPU host",
+				k4, k1, ncpu))
+		}
+		return bad
+	}
+	for _, k := range []string{"1", "2", "4", "8"} {
+		base := baseline[k]
+		if base == 0 {
+			bad = append(bad, fmt.Sprintf("shard curve baseline has no K=%s point — rebase the baseline", k))
+			continue
+		}
+		if c := cur[k]; c > base*1.5 {
+			bad = append(bad, fmt.Sprintf("shard curve K=%s %.3fs exceeds baseline %.3fs by more than 50%%", k, c, base))
+		}
+	}
 	return bad
 }
 
@@ -272,7 +359,7 @@ func main() {
 	ns, allocs := benchEngine()
 	fmt.Fprintf(os.Stderr, "engine: %.1f ns/event, %.2f allocs/event (K=1 serial path)\n", ns, allocs)
 
-	single, err := benchSingle(*shards)
+	single, _, err := benchSingle(*shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-bench: single run: %v\n", err)
 		os.Exit(1)
@@ -281,15 +368,27 @@ func main() {
 		single, *shards)
 
 	curve := map[string]float64{}
+	var cycles, serialStamps, roundsK4 uint64
 	for _, k := range []int{1, 2, 4, 8} {
-		s, err := benchSingle(k)
+		s, res, err := benchSingle(k)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killi-bench: shard curve K=%d: %v\n", k, err)
 			os.Exit(1)
 		}
 		curve[fmt.Sprintf("%d", k)] = s
-		fmt.Fprintf(os.Stderr, "curve:  K=%d %.3f s\n", k, s)
+		switch k {
+		case 1:
+			cycles = res.Cycles
+			serialStamps = res.Sched.Timestamps
+		case 4:
+			roundsK4 = res.Sched.Rounds
+		}
+		fmt.Fprintf(os.Stderr, "curve:  K=%d %.3f s (rounds %d, cross-shard msgs %d, ingests skipped %d)\n",
+			k, s, res.Sched.Rounds, res.Sched.CrossShardMessages, res.Sched.IngestsSkipped)
 	}
+	fmt.Fprintf(os.Stderr, "sched:  %d cycles, %d serial timestamps -> %d K=4 rounds (%.2fx vs per-cycle, %.2fx vs per-timestamp)\n",
+		cycles, serialStamps, roundsK4,
+		float64(cycles)/float64(roundsK4), float64(serialStamps)/float64(roundsK4))
 
 	sweep, err := benchSweep("", *shards)
 	if err != nil {
@@ -327,16 +426,19 @@ func main() {
 		coldRPS, hotRPS, serverJobs)
 
 	cur := point{
-		NsPerEvent:       ns,
-		AllocsPerEvent:   allocs,
-		SingleRunSeconds: single,
-		SweepSeconds:     sweep,
-		SweepColdSeconds: cold,
-		SweepWarmSeconds: warm,
-		ServerColdRPS:    coldRPS,
-		ServerHotRPS:     hotRPS,
+		NsPerEvent:                ns,
+		AllocsPerEvent:            allocs,
+		SingleRunSeconds:          single,
+		SweepSeconds:              sweep,
+		SweepColdSeconds:          cold,
+		SweepWarmSeconds:          warm,
+		ServerColdRPS:             coldRPS,
+		ServerHotRPS:              hotRPS,
+		SingleRunCycles:           float64(cycles),
+		SingleRunSerialTimestamps: float64(serialStamps),
+		SingleRunRoundsK4:         float64(roundsK4),
 	}
-	rep := report{Baseline: cur, Current: cur, ShardCurve: curve}
+	rep := report{Baseline: cur, Current: cur, ShardCurve: curve, ShardCurveBaseline: curve}
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old report
 		if json.Unmarshal(prev, &old) == nil && old.Baseline != (point{}) {
@@ -348,6 +450,14 @@ func main() {
 			}
 			if rep.Baseline.ServerHotRPS == 0 {
 				rep.Baseline.ServerHotRPS = cur.ServerHotRPS
+			}
+			if rep.Baseline.SingleRunCycles == 0 {
+				rep.Baseline.SingleRunCycles = cur.SingleRunCycles
+				rep.Baseline.SingleRunSerialTimestamps = cur.SingleRunSerialTimestamps
+				rep.Baseline.SingleRunRoundsK4 = cur.SingleRunRoundsK4
+			}
+			if len(old.ShardCurveBaseline) > 0 {
+				rep.ShardCurveBaseline = old.ShardCurveBaseline
 			}
 		}
 	}
@@ -367,7 +477,9 @@ func main() {
 		rep.Baseline.SweepSeconds/rep.Current.SweepSeconds, single, warm)
 
 	if *gate {
-		if bad := enforce(rep.Baseline, cur); len(bad) > 0 {
+		bad := enforce(rep.Baseline, cur)
+		bad = append(bad, enforceCurve(rep.ShardCurveBaseline, curve, runtime.NumCPU())...)
+		if len(bad) > 0 {
 			for _, b := range bad {
 				fmt.Fprintf(os.Stderr, "killi-bench: REGRESSION: %s\n", b)
 			}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodPoint is a baseline/current pair that passes every gate.
+func goodPoint() point {
+	return point{
+		NsPerEvent:                100,
+		AllocsPerEvent:            0,
+		SingleRunSeconds:          0.03,
+		SweepSeconds:              1.1,
+		SweepColdSeconds:          1.0,
+		SweepWarmSeconds:          0.004,
+		ServerColdRPS:             25,
+		ServerHotRPS:              4500,
+		SingleRunCycles:           65000,
+		SingleRunSerialTimestamps: 24000,
+		SingleRunRoundsK4:         12000,
+	}
+}
+
+func assertViolation(t *testing.T, bad []string, substr string) {
+	t.Helper()
+	for _, b := range bad {
+		if strings.Contains(b, substr) {
+			return
+		}
+	}
+	t.Errorf("no violation mentioning %q in %v", substr, bad)
+}
+
+func TestEnforceCleanPass(t *testing.T) {
+	if bad := enforce(goodPoint(), goodPoint()); len(bad) != 0 {
+		t.Fatalf("identical measurement flagged: %v", bad)
+	}
+}
+
+func TestEnforceThroughputRegressions(t *testing.T) {
+	base := goodPoint()
+	cur := base
+	cur.NsPerEvent = base.NsPerEvent * 1.2
+	cur.SweepSeconds = base.SweepSeconds * 1.2
+	cur.SweepWarmSeconds = base.SweepWarmSeconds * 2.5
+	bad := enforce(base, cur)
+	assertViolation(t, bad, "ns_per_event")
+	assertViolation(t, bad, "sweep_seconds")
+	assertViolation(t, bad, "sweep_warm_seconds")
+	if len(bad) != 3 {
+		t.Fatalf("want exactly 3 violations, got %v", bad)
+	}
+	// Within budget: 10% over is fine.
+	cur = base
+	cur.SweepSeconds = base.SweepSeconds * 1.1
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("10%% sweep drift flagged: %v", bad)
+	}
+}
+
+func TestEnforceAllocGate(t *testing.T) {
+	cur := goodPoint()
+	cur.AllocsPerEvent = 0.01
+	assertViolation(t, enforce(goodPoint(), cur), "allocs_per_event")
+}
+
+// TestEnforceSchedulingGates pins the deterministic counters: cycles and
+// serial timestamps gate exactly (any difference is a semantic change),
+// rounds may only decrease, and rounds × 5 must stay within cycles.
+func TestEnforceSchedulingGates(t *testing.T) {
+	base := goodPoint()
+
+	cur := base
+	cur.SingleRunCycles++
+	assertViolation(t, enforce(base, cur), "single_run_cycles")
+
+	cur = base
+	cur.SingleRunSerialTimestamps--
+	assertViolation(t, enforce(base, cur), "single_run_serial_timestamps")
+
+	cur = base
+	cur.SingleRunRoundsK4++
+	assertViolation(t, enforce(base, cur), "coalescing regressed")
+
+	// Fewer rounds than baseline is an improvement, not a violation.
+	cur = base
+	cur.SingleRunRoundsK4 = base.SingleRunRoundsK4 / 2
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("round-count improvement flagged: %v", bad)
+	}
+
+	// The 5x coalescing floor is absolute, even when the baseline agrees.
+	cur = base
+	cur.SingleRunCycles = cur.SingleRunRoundsK4 * 4
+	base5 := base
+	base5.SingleRunCycles = cur.SingleRunCycles
+	assertViolation(t, enforce(base5, cur), "5")
+}
+
+// TestEnforceZeroBaselines pins that a zero-valued gated baseline field is
+// itself a violation on every gated metric, deterministic ones included.
+func TestEnforceZeroBaselines(t *testing.T) {
+	bad := enforce(point{}, goodPoint())
+	for _, name := range []string{
+		"ns_per_event", "single_run_seconds", "sweep_seconds",
+		"sweep_cold_seconds", "sweep_warm_seconds",
+		"single_run_cycles", "single_run_serial_timestamps", "single_run_rounds_k4",
+	} {
+		assertViolation(t, bad, name)
+	}
+}
+
+// TestEnforceCurveWideHost pins the >= 4-CPU speedup gate: K=4 must be at
+// least 2x faster than K=1, regardless of the recorded baseline.
+func TestEnforceCurveWideHost(t *testing.T) {
+	base := map[string]float64{"1": 0.03, "2": 0.04, "4": 0.06, "8": 0.09}
+	win := map[string]float64{"1": 0.030, "2": 0.020, "4": 0.014, "8": 0.012}
+	if bad := enforceCurve(base, win, 8); len(bad) != 0 {
+		t.Fatalf("2.1x speedup flagged on an 8-CPU host: %v", bad)
+	}
+	lose := map[string]float64{"1": 0.030, "2": 0.025, "4": 0.016, "8": 0.015}
+	assertViolation(t, enforceCurve(base, lose, 4), "not >= 2x faster")
+	assertViolation(t, enforceCurve(base, map[string]float64{"1": 0.03}, 4), "missing")
+}
+
+// TestEnforceCurveNarrowHost pins the 1-core fallback: each point gates
+// against the committed baseline curve at 1.5x, and a missing baseline
+// point is an error, not a skip.
+func TestEnforceCurveNarrowHost(t *testing.T) {
+	base := map[string]float64{"1": 0.03, "2": 0.04, "4": 0.06, "8": 0.09}
+	same := map[string]float64{"1": 0.031, "2": 0.042, "4": 0.058, "8": 0.093}
+	if bad := enforceCurve(base, same, 1); len(bad) != 0 {
+		t.Fatalf("in-budget curve flagged on a 1-CPU host: %v", bad)
+	}
+	worse := map[string]float64{"1": 0.031, "2": 0.042, "4": 0.095, "8": 0.093}
+	assertViolation(t, enforceCurve(base, worse, 1), "K=4")
+	assertViolation(t, enforceCurve(map[string]float64{"1": 0.03}, same, 2), "no K=2 point")
+	// The wide-host gate must NOT fire on a narrow host even when K=4 is
+	// slower than K=1 — a 1-core curve is honestly overhead-only.
+	if bad := enforceCurve(base, same, 2); len(bad) != 0 {
+		t.Fatalf("overhead-only curve flagged on a 2-CPU host: %v", bad)
+	}
+}

@@ -8,6 +8,9 @@
 //	                  Identical in-flight jobs coalesce into one simulation;
 //	                  completed jobs are served from the cache. A full queue
 //	                  answers 429 with a Retry-After hint.
+//	GET  /v1/jobs/{key}  re-fetch a completed job by its content-address key
+//	                  from the bounded retained registry (-retain-jobs /
+//	                  -retain-ttl); 404 once evicted.
 //	GET  /v1/observe  stream one run's DFH training dynamics as Server-Sent
 //	                  Events (per-epoch samples, state populations, resets).
 //	GET  /healthz     liveness and queue statistics.
@@ -54,6 +57,8 @@ func run() int {
 	queue := flag.Int("queue", 0, "jobs allowed to wait beyond the running ones before 429 (0 = 4x workers)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics document on a second address too (e.g. localhost:8060); the job API always has /metrics")
 	drain := flag.Duration("drain", time.Minute, "how long shutdown waits for queued and running jobs before cancelling them")
+	retainJobs := flag.Int("retain-jobs", 0, "completed jobs kept re-fetchable via GET /v1/jobs/{key} (0 = default 1024, negative disables retention)")
+	retainTTL := flag.Duration("retain-ttl", 0, "age bound on retained jobs (0 = default 10m, negative disables age eviction)")
 	flag.Parse()
 
 	// Fail on flag nonsense before binding sockets or starting workers.
@@ -91,6 +96,8 @@ func run() int {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Metrics:    m,
+		RetainJobs: *retainJobs,
+		RetainTTL:  *retainTTL,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killi-simd: %v\n", err)

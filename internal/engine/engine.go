@@ -8,9 +8,13 @@
 //
 // The production kernel is Sharded (sharded.go): simulator state is
 // partitioned into domains, each with a bound EventSink, and domains are
-// grouped onto K shards that advance in lock-step barrier rounds under a
-// one-cycle cross-domain lookahead. K=1 is a plain serial pop loop with
-// zero steady-state allocations; results are bit-identical at every K.
+// grouped onto K shards that advance in lock-step barrier rounds. Each
+// round fires every event below a per-shard bound derived from the
+// transitive closure of declared per-edge minimum Send delays (DeclareEdge),
+// so one round coalesces many cycles of work; without declarations the
+// engine falls back to a conservative one-cycle lookahead. K=1 is a plain
+// serial pop loop with zero steady-state allocations; results are
+// bit-identical at every K.
 //
 // Engine (this file) is the original single-queue kernel, kept as the
 // compact reference implementation: a typed four-ary min-heap ordered by

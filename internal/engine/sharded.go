@@ -5,29 +5,33 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the bank-sharded parallel event engine: a
 // multi-domain discrete-event simulator whose results are bit-identical at
 // any shard count.
 //
-// The model is conservative parallel discrete-event simulation with unit
-// lookahead. All simulator state is partitioned into domains; an event is
-// owned by exactly one domain and only that domain's sink observes it.
-// Within a domain, events fire in a canonical total order — (cycle, key),
-// where the key packs the event's class, origin domain, and a per-domain
-// scheduling sequence — that is a function of the simulation alone, never
-// of how domains are grouped onto shards. Sharding therefore only decides
-// which OS thread fires an event, not when or in what order relative to
-// the rest of its domain, which is what makes K-invariance hold by
-// construction instead of by careful merging.
+// The model is conservative parallel discrete-event simulation with
+// per-edge lookahead. All simulator state is partitioned into domains; an
+// event is owned by exactly one domain and only that domain's sink
+// observes it. Within a domain, events fire in a canonical total order —
+// (cycle, key), where the key packs the event's class, origin domain, and
+// a per-domain scheduling sequence — that is a function of the simulation
+// alone, never of how domains are grouped onto shards. Sharding therefore
+// only decides which OS thread fires an event, not when or in what order
+// relative to the rest of its domain, which is what makes K-invariance
+// hold by construction instead of by careful merging.
 //
 // Cross-domain communication must use Send with a delivery delay of at
-// least one cycle — the engine's lookahead. That guarantee means every
-// message bound for cycle t exists in its destination shard's heap before
-// the barrier round that processes t begins, so each timestamp is handled
-// in exactly one round and no message can arrive "late" behind a
-// same-cycle event that already fired.
+// least the declared minimum for the (source, destination) edge — the
+// lookahead. In legacy mode (no DeclareEdge calls) every edge has floor 1.
+// In declared-topology mode the floors can be much larger, and each
+// parallel round lets every shard fire all events strictly below its
+// bound: the earliest cycle at which any other shard's pending work could
+// still deliver a message to it. Rounds then advance by the latency graph's
+// real slack instead of one timestamp at a time, collapsing the barrier
+// count by the average lookahead.
 
 // EventSink receives a domain's events. Exactly one sink is bound per
 // domain; OnEvent is called only from the shard worker that owns the
@@ -46,6 +50,27 @@ const (
 	msgClass = uint64(1) << 63
 	noEvent  = ^uint64(0)
 )
+
+// RunStats is the deterministic scheduling ledger of one Run: a pure
+// function of the simulation and the shard count, independent of host
+// speed, GOMAXPROCS, or thread scheduling — so it can be asserted in tests
+// and gated in benchmarks even on a single-core machine.
+type RunStats struct {
+	// Rounds counts barrier rounds (parallel) or is 0 for serial runs,
+	// which have no barrier.
+	Rounds uint64
+	// Events counts fired events.
+	Events uint64
+	// Timestamps counts distinct event cycles fired, summed over shards in
+	// parallel mode and globally in serial mode. A serial run's Timestamps
+	// equals the rounds the pre-lookahead engine would have needed.
+	Timestamps uint64
+	// CrossShardMessages counts Sends that crossed a shard boundary.
+	CrossShardMessages uint64
+	// IngestsSkipped counts rounds whose mailbox phase was skipped because
+	// no shard sent a cross-shard message since the previous ingest.
+	IngestsSkipped uint64
+}
 
 // sevent is one queued event: payload (kind, a, b) for the sink of domain
 // dst, firing at cycle `when`, totally ordered by (when, key).
@@ -69,44 +94,50 @@ func (e sevent) less(o sevent) bool {
 // writes its own rows) and, in the ingest phase, drains column w of every
 // shard's outbox (only w reads/resets that column); the round barriers
 // order the two phases, so no slice is ever touched concurrently.
+//
+// Layout audit: heap/out headers and now are written every round by the
+// owning worker only; cross-worker coordination words live in the padded
+// pub/bound slots owned by the engine, not here. The trailing pad keeps
+// two adjacent shardStates' hot words on distinct cache lines.
 type shardState struct {
 	heap []sevent
 	out  [][]sevent
 	// now is the cycle the shard is processing; Domain.Now reads it, so it
 	// is written only by the owning worker (or single-threaded code).
 	now uint64
-	// min is the shard's next event cycle (noEvent when drained),
-	// published between barriers so every worker derives the next round's
-	// timestamp from the same snapshot.
-	min  uint64
-	_pad [40]byte // keep hot per-shard words off shared cache lines
+	// Owner-private round accounting, merged into Sharded.stats after the
+	// run (worker-local, no sharing).
+	events     uint64
+	timestamps uint64
+	crossSent  uint64
+	_pad       [40]byte // keep hot per-shard words off shared cache lines
 }
 
 func (sh *shardState) push(ev sevent) {
 	sh.heap = append(sh.heap, ev)
-	i := len(sh.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !ev.less(sh.heap[parent]) {
-			break
-		}
-		sh.heap[i] = sh.heap[parent]
-		i = parent
-	}
-	sh.heap[i] = ev
+	siftUp(sh.heap, len(sh.heap)-1)
 }
 
-func (sh *shardState) pop() sevent {
-	top := sh.heap[0]
-	n := len(sh.heap) - 1
-	last := sh.heap[n]
-	sh.heap = sh.heap[:n]
-	if n == 0 {
-		return top
+func siftUp(h []sevent, i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
 	}
-	// Bottom-up hole sift, as in Engine.siftDown: walk the hole down the
-	// min-child path, then sift the displaced last element back up.
-	i := 0
+	h[i] = ev
+}
+
+// siftDown restores the four-ary heap property at index i, assuming the
+// subtrees below are already heaps: bottom-up hole sift — walk the hole
+// down the min-child path, then sift the displaced element back up.
+func siftDown(h []sevent, i int) {
+	n := len(h)
+	moved := h[i]
+	start := i
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -118,23 +149,48 @@ func (sh *shardState) pop() sevent {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if sh.heap[c].less(sh.heap[best]) {
+			if h[c].less(h[best]) {
 				best = c
 			}
 		}
-		sh.heap[i] = sh.heap[best]
+		h[i] = h[best]
 		i = best
 	}
-	for i > 0 {
+	for i > start {
 		parent := (i - 1) / 4
-		if !last.less(sh.heap[parent]) {
+		if parent < start {
 			break
 		}
-		sh.heap[i] = sh.heap[parent]
+		if !moved.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
 		i = parent
 	}
-	sh.heap[i] = last
+	h[i] = moved
+}
+
+func (sh *shardState) pop() sevent {
+	top := sh.heap[0]
+	n := len(sh.heap) - 1
+	last := sh.heap[n]
+	sh.heap = sh.heap[:n]
+	if n == 0 {
+		return top
+	}
+	sh.heap[0] = last
+	siftDown(sh.heap, 0)
 	return top
+}
+
+// heapify establishes the heap property over the whole slice in O(n)
+// (Floyd's method) — used by bulk mailbox ingest when the incoming batch
+// is large relative to the heap.
+func (sh *shardState) heapify() {
+	h := sh.heap
+	for i := (len(h) - 2) / 4; i >= 0; i-- {
+		siftDown(h, i)
+	}
 }
 
 func (sh *shardState) minWhen() uint64 {
@@ -183,17 +239,26 @@ func (d *Domain) After(delay uint64, kind uint8, a, b uint64) {
 }
 
 // Send schedules an event on another domain, delay cycles from the sending
-// domain's current cycle. The delay must be at least 1 — the engine's
-// lookahead: it is what lets shards process a timestamp in one barrier
-// round, knowing no same-cycle message can still be in flight. Delivery
-// order at equal cycle is canonical — after the destination's local
-// events, ordered by (sending domain, sending sequence) — so results do
-// not depend on shard grouping.
+// domain's current cycle. The delay must be at least the edge's declared
+// minimum (1 in legacy mode) — the lookahead: it is what lets shards
+// process a whole window of timestamps in one barrier round, knowing no
+// message can still be in flight into that window. Delivery order at equal
+// cycle is canonical — after the destination's local events, ordered by
+// (sending domain, sending sequence) — so results do not depend on shard
+// grouping.
 func (d *Domain) Send(dst *Domain, delay uint64, kind uint8, a, b uint64) {
-	if delay == 0 {
+	e := d.eng
+	if e.edgeMin != nil {
+		floor := e.edgeMin[int(d.id)*len(e.domains)+int(dst.id)]
+		if floor == 0 {
+			panic(fmt.Sprintf("engine: Send on undeclared edge %d->%d (declared-topology mode)", d.id, dst.id))
+		}
+		if delay < floor {
+			panic(fmt.Sprintf("engine: Send delay %d below declared minimum %d for edge %d->%d", delay, floor, d.id, dst.id))
+		}
+	} else if delay == 0 {
 		panic("engine: Send requires delay >= 1 (the cross-domain lookahead)")
 	}
-	e := d.eng
 	sh := &e.shards[d.shard]
 	d.seq++
 	ev := sevent{
@@ -207,7 +272,33 @@ func (d *Domain) Send(dst *Domain, delay uint64, kind uint8, a, b uint64) {
 		sh.push(ev)
 	} else {
 		sh.out[ds] = append(sh.out[ds], ev)
+		sh.crossSent++
+		e.pub[d.shard].sent.Store(1)
 	}
+}
+
+// pubSlot is one shard's published coordination word set, padded to a full
+// cache line: the owner worker writes min/sent between barriers, the
+// combiner (last barrier arriver) reads them. Keeping each shard's slot on
+// its own line means publishing never invalidates a peer's line.
+type pubSlot struct {
+	min  uint64
+	sent atomic.Uint32
+	_    [52]byte
+}
+
+// boundSlot is one shard's per-round fire bound, written by the combiner
+// and read by the owner — padded for the same reason as pubSlot.
+type boundSlot struct {
+	v uint64
+	_ [56]byte
+}
+
+// planHeader carries the combiner's global outputs for a round.
+type planHeader struct {
+	globalMin uint64
+	ingest    uint32
+	_         [52]byte
 }
 
 // Sharded is a discrete-event engine over a fixed set of domains, able to
@@ -215,13 +306,31 @@ func (d *Domain) Send(dst *Domain, delay uint64, kind uint8, a, b uint64) {
 //
 // With one shard (the default) Run is a plain serial pop loop with zero
 // steady-state allocations — the fast path the sweep uses. With K shards,
-// K workers advance in lock-step rounds of one timestamp each under a spin
-// barrier; every statistic, event order, and observer stream is
-// bit-identical to the serial run at any K.
+// K workers advance in lock-step rounds under a combining barrier; each
+// round every shard fires all events strictly below its lookahead bound.
+// Every statistic, event order, and observer stream is bit-identical to
+// the serial run at any K.
 type Sharded struct {
 	domains []Domain
 	shards  []shardState
 	now     uint64
+
+	// edgeMin is the declared per-edge minimum Send delay, dense D×D
+	// (src*D+dst), 0 = undeclared. nil = legacy mode (all edges floor 1).
+	edgeMin []uint64
+	// look[to*K+from] is the per-shard-pair lookahead: the minimum edgeMin
+	// over all (src in from, dst in to) domain pairs; noEvent when no edge
+	// connects the pair. Rebuilt by each parallel Run.
+	look []uint64
+
+	// pub/bounds/hdr are the padded coordination arrays for parallel runs;
+	// pub is allocated by setShards because setup-time Sends set the sent
+	// flag before any Run.
+	pub    []pubSlot
+	bounds []boundSlot
+	hdr    planHeader
+
+	stats RunStats
 
 	// pacer is an optional hook fired once per boundary (multiples of
 	// pacerEvery) strictly between rounds: every domain is parked when it
@@ -260,6 +369,35 @@ func (s *Sharded) Now() uint64 { return s.now }
 // Shards returns the current shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// Stats returns the scheduling ledger of the most recent Run.
+func (s *Sharded) Stats() RunStats { return s.stats }
+
+// DeclareEdge switches the engine to declared-topology mode and records
+// that domain src may Send to domain dst with delay >= minDelay (>= 1).
+// In this mode every Send must use a declared edge at or above its floor
+// (undeclared Sends panic), and the parallel scheduler derives per-shard
+// lookahead from the declared graph: shard pairs connected only by long
+// edges — or by no edge at all — let rounds advance many cycles at once.
+// Declare edges during setup, before the first Run; redeclaring an edge
+// keeps the smaller floor.
+func (s *Sharded) DeclareEdge(src, dst int, minDelay uint64) {
+	if minDelay == 0 {
+		panic("engine: DeclareEdge requires minDelay >= 1")
+	}
+	if src == dst {
+		panic("engine: DeclareEdge on a self edge (use After for local events)")
+	}
+	d := len(s.domains)
+	if s.edgeMin == nil {
+		s.edgeMin = make([]uint64, d*d)
+	}
+	at := src*d + dst
+	if cur := s.edgeMin[at]; cur == 0 || minDelay < cur {
+		s.edgeMin[at] = minDelay
+	}
+	s.look = nil
+}
+
 // Pending returns the number of queued events across all shards.
 func (s *Sharded) Pending() int {
 	total := 0
@@ -272,10 +410,10 @@ func (s *Sharded) Pending() int {
 	return total
 }
 
-// SetShards regroups the domains onto k shards (clamped to [1, domains]).
-// It must be called with no queued events — between Runs — because events
-// live in per-shard heaps. Results are identical at any k; only wall-clock
-// changes.
+// SetShards regroups the domains onto k shards (clamped to [1, domains])
+// round-robin. It must be called with no queued events — between Runs —
+// because events live in per-shard heaps. Results are identical at any k;
+// only wall-clock changes.
 func (s *Sharded) SetShards(k int) {
 	if s.Pending() != 0 {
 		panic("engine: SetShards with events queued")
@@ -287,6 +425,35 @@ func (s *Sharded) SetShards(k int) {
 		k = len(s.domains)
 	}
 	s.setShards(k)
+	for i := range s.domains {
+		s.domains[i].shard = int32(i % k)
+	}
+}
+
+// AssignShards regroups the domains onto k shards with an explicit
+// placement: shardOf(i) returns the shard (in [0, k)) owning domain i.
+// Like SetShards it requires no queued events. Placement never affects
+// results — only which pairs of domains share a thread, and therefore the
+// per-shard-pair lookahead the scheduler can exploit.
+func (s *Sharded) AssignShards(k int, shardOf func(domain int) int) {
+	if s.Pending() != 0 {
+		panic("engine: AssignShards with events queued")
+	}
+	if k < 1 || k > len(s.domains) {
+		panic(fmt.Sprintf("engine: AssignShards k=%d out of range [1,%d]", k, len(s.domains)))
+	}
+	assign := make([]int32, len(s.domains))
+	for i := range s.domains {
+		sh := shardOf(i)
+		if sh < 0 || sh >= k {
+			panic(fmt.Sprintf("engine: AssignShards placed domain %d on shard %d (k=%d)", i, sh, k))
+		}
+		assign[i] = int32(sh)
+	}
+	s.setShards(k)
+	for i := range s.domains {
+		s.domains[i].shard = assign[i]
+	}
 }
 
 func (s *Sharded) setShards(k int) {
@@ -294,10 +461,81 @@ func (s *Sharded) setShards(k int) {
 	for i := range s.shards {
 		s.shards[i].out = make([][]sevent, k)
 		s.shards[i].now = s.now
-		s.shards[i].min = noEvent
 	}
-	for i := range s.domains {
-		s.domains[i].shard = int32(i % k)
+	s.pub = make([]pubSlot, k)
+	s.bounds = make([]boundSlot, k)
+	s.look = nil
+}
+
+// buildLookahead fills look[to*K+from] with the minimum total delay of any
+// WALK (one or more edges, possibly through other shards) from a domain on
+// shard `from` to a domain on shard `to`; noEvent when no such walk
+// exists. The diagonal holds each shard's shortest return cycle.
+//
+// The walk closure — not just the direct edge minimum — is what makes the
+// per-round fire bounds conservative: a shard's bound must protect it from
+// every chain of cause and effect rooted at another shard's round-start
+// minimum, including chains that bounce through third shards or that
+// originate in the shard's own heap and return to it. Each hop of such a
+// chain adds at least the traversed edge's declared floor, so the earliest
+// any chain rooted at cycle m on shard f can deliver into shard t is
+// m + look[t*K+f].
+func (s *Sharded) buildLookahead() {
+	k := len(s.shards)
+	s.look = make([]uint64, k*k)
+	for i := range s.look {
+		s.look[i] = noEvent
+	}
+	if s.edgeMin == nil {
+		// Legacy mode: every cross-domain edge has floor 1.
+		for to := 0; to < k; to++ {
+			for from := 0; from < k; from++ {
+				if from != to {
+					s.look[to*k+from] = 1
+				} else if k > 1 {
+					s.look[to*k+from] = 2 // shortest return cycle
+				}
+			}
+		}
+		return
+	}
+	d := len(s.domains)
+	for src := 0; src < d; src++ {
+		sf := int(s.domains[src].shard)
+		row := s.edgeMin[src*d : src*d+d]
+		for dst, m := range row {
+			if m == 0 {
+				continue
+			}
+			df := int(s.domains[dst].shard)
+			if df == sf {
+				continue // same-shard delivery needs no cross-shard bound
+			}
+			at := df*k + sf
+			if m < s.look[at] {
+				s.look[at] = m
+			}
+		}
+	}
+	// Floyd–Warshall over the shard graph (diagonal starts at noEvent, so
+	// the result is the min-delay walk with >= 1 edge for every pair,
+	// including each shard's shortest return cycle on the diagonal).
+	for mid := 0; mid < k; mid++ {
+		for from := 0; from < k; from++ {
+			a := s.look[mid*k+from]
+			if a == noEvent {
+				continue
+			}
+			for to := 0; to < k; to++ {
+				b := s.look[to*k+mid]
+				if b == noEvent {
+					continue
+				}
+				if v := a + b; v < s.look[to*k+from] {
+					s.look[to*k+from] = v
+				}
+			}
+		}
 	}
 }
 
@@ -317,6 +555,7 @@ func (s *Sharded) SetPacer(every uint64, fn func(boundary uint64)) {
 
 // Run fires events until every queue drains and returns the final cycle.
 func (s *Sharded) Run() uint64 {
+	s.stats = RunStats{}
 	if len(s.shards) == 1 {
 		return s.runSerial()
 	}
@@ -325,6 +564,8 @@ func (s *Sharded) Run() uint64 {
 
 func (s *Sharded) runSerial() uint64 {
 	sh := &s.shards[0]
+	var events, stamps, last uint64
+	last = noEvent
 	for len(sh.heap) > 0 {
 		if s.pacer != nil {
 			for t := sh.heap[0].when; s.pacerNext <= t; {
@@ -334,15 +575,25 @@ func (s *Sharded) runSerial() uint64 {
 			}
 		}
 		ev := sh.pop()
+		if ev.when != last {
+			stamps++
+			last = ev.when
+		}
+		events++
 		sh.now = ev.when
 		s.now = ev.when
 		s.domains[ev.dst].sink.OnEvent(ev.kind, ev.a, ev.b)
 	}
+	s.stats.Events = events
+	s.stats.Timestamps = stamps
 	return s.now
 }
 
 func (s *Sharded) runParallel() uint64 {
 	k := len(s.shards)
+	if s.look == nil {
+		s.buildLookahead()
+	}
 	bar := newBarrier(uint64(k))
 	var wg sync.WaitGroup
 	for w := 0; w < k; w++ {
@@ -353,28 +604,99 @@ func (s *Sharded) runParallel() uint64 {
 		}(w)
 	}
 	wg.Wait()
+	// The engine clock is the cycle of the last fired event: with
+	// coalesced rounds each shard's now holds its own last-fired cycle, so
+	// the global clock is their maximum (unchanged if nothing fired).
 	for i := range s.shards {
-		s.shards[i].now = s.now
+		if sh := &s.shards[i]; sh.events != 0 && sh.now > s.now {
+			s.now = sh.now
+		}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.now = s.now
+		s.stats.Events += sh.events
+		s.stats.Timestamps += sh.timestamps
+		s.stats.CrossShardMessages += sh.crossSent
+		sh.events, sh.timestamps, sh.crossSent = 0, 0, 0
 	}
 	return s.now
 }
 
-// worker advances one shard through lock-step rounds. Each round handles
-// exactly one timestamp t (the global minimum): fire all local events at
-// t, barrier, ingest cross-shard messages and republish the local minimum,
-// barrier. Because Send enforces a delay of >= 1, messages generated in
-// round t deliver at t+1 or later, so t never needs a second round.
-func (s *Sharded) worker(w int, bar *barrier) {
-	sh := &s.shards[w]
-	sh.min = sh.minWhen()
-	bar.wait()
-	for {
-		t := noEvent
-		for i := range s.shards {
-			if m := s.shards[i].min; m < t {
-				t = m
+// combinePlan runs inside the barrier on the last arriver: it reads every
+// shard's published min, computes the global minimum and each shard's fire
+// bound for the next round, and collects the cross-shard-traffic flag. A
+// shard's bound is the earliest cycle at which any OTHER shard could still
+// deliver a message to it — min over peers of (peer min + pair lookahead)
+// — so firing everything strictly below the bound is safe. The shard
+// holding the global minimum always has bound > globalMin (its peers are
+// at >= globalMin and every lookahead is >= 1), which guarantees progress.
+func (s *Sharded) combinePlan() {
+	k := len(s.shards)
+	g := noEvent
+	for i := range s.pub {
+		if m := s.pub[i].min; m < g {
+			g = m
+		}
+	}
+	s.hdr.globalMin = g
+	if g == noEvent {
+		return
+	}
+	// Clear any sent flags left by setup-time Sends: the pre-run ingest
+	// already drained those outboxes, and this runs on the first barrier
+	// with every worker parked. In steady state Sends only happen during
+	// firing and are collected by combineTraffic, so this scan is a no-op.
+	for i := range s.pub {
+		if s.pub[i].sent.Load() != 0 {
+			s.pub[i].sent.Store(0)
+		}
+	}
+	// bound[to] = min over every shard `from` (including to itself, via
+	// its shortest return cycle) of from's round-start minimum plus the
+	// closed-walk lookahead from→to: the earliest cycle at which any chain
+	// of not-yet-fired work anywhere could deliver an event into `to`.
+	for to := 0; to < k; to++ {
+		bound := noEvent
+		row := s.look[to*k : to*k+k]
+		for from := 0; from < k; from++ {
+			m := s.pub[from].min
+			l := row[from]
+			if m == noEvent || l == noEvent {
+				continue
+			}
+			v := m + l
+			if v < m { // overflow: treat as unbounded
+				continue
+			}
+			if v < bound {
+				bound = v
 			}
 		}
+		s.bounds[to].v = bound
+	}
+}
+
+// worker advances one shard through lock-step rounds. Each round fires all
+// local events strictly below the shard's bound (computed by the previous
+// barrier's combiner), then synchronizes: a traffic barrier whose combiner
+// ORs the per-shard sent flags, an optional mailbox ingest, and a plan
+// barrier whose combiner publishes the next global minimum and bounds.
+// Because every cross-shard Send travels an edge with lookahead >= the
+// pair's table entry, a message created by an event at cycle >= peerMin
+// arrives at >= peerMin + lookahead >= bound — never inside the window a
+// shard is firing.
+func (s *Sharded) worker(w int, bar *barrier) {
+	sh := &s.shards[w]
+	pub := &s.pub[w]
+	// Setup-time Sends may have left rows in cross-shard outboxes (and set
+	// sent flags); ingest them before publishing the initial minimum so no
+	// shard's first min misses mailbox-only events.
+	s.ingest(w)
+	pub.min = sh.minWhen()
+	bar.wait(s.combinePlan)
+	for {
+		t := s.hdr.globalMin
 		if t == noEvent {
 			return
 		}
@@ -382,7 +704,7 @@ func (s *Sharded) worker(w int, bar *barrier) {
 			// Every worker saw the same t and pacerNext, so all take this
 			// branch together; worker 0 fires the hook while the rest hold
 			// at the second barrier with their domains parked.
-			bar.wait()
+			bar.wait(nil)
 			if w == 0 {
 				for s.pacerNext <= t {
 					b := s.pacerNext
@@ -390,50 +712,149 @@ func (s *Sharded) worker(w int, bar *barrier) {
 					s.pacer(b)
 				}
 			}
-			bar.wait()
+			bar.wait(nil)
 		}
-		sh.now = t
-		if w == 0 {
-			s.now = t
+		bound := s.bounds[w].v
+		if s.pacer != nil && s.pacerNext < bound {
+			// Never fire past the next pacer boundary: the hook must run
+			// with all shards parked before any event at or after it.
+			bound = s.pacerNext
 		}
-		for len(sh.heap) > 0 && sh.heap[0].when == t {
+		last := noEvent
+		for len(sh.heap) > 0 && sh.heap[0].when < bound {
 			ev := sh.pop()
+			if ev.when != last {
+				sh.timestamps++
+				last = ev.when
+			}
+			sh.events++
+			sh.now = ev.when
 			s.domains[ev.dst].sink.OnEvent(ev.kind, ev.a, ev.b)
 		}
-		bar.wait()
-		for i := range s.shards {
-			src := &s.shards[i]
-			row := src.out[w]
-			for j := range row {
-				sh.push(row[j])
-			}
-			src.out[w] = row[:0]
+		bar.wait(s.combineTraffic)
+		if s.hdr.ingest != 0 {
+			s.ingest(w)
+		} else if w == 0 {
+			s.stats.IngestsSkipped++
 		}
-		sh.min = sh.minWhen()
-		bar.wait()
+		if w == 0 {
+			s.stats.Rounds++
+		}
+		pub.min = sh.minWhen()
+		bar.wait(s.combinePlan)
 	}
 }
 
-// barrier is a monotone-counter spin barrier: arrival n completes phase
-// n/size, and a waiter spins until its own phase completes. The counter
-// never resets, which avoids the classic sense-reversal race where a fast
-// worker laps a slow one.
-type barrier struct {
-	size   uint64
-	arrive atomic.Uint64
+// combineTraffic ORs and clears the per-shard sent flags so the round's
+// ingest phase can be skipped when no cross-shard message is in flight.
+func (s *Sharded) combineTraffic() {
+	ingest := uint32(0)
+	for i := range s.pub {
+		if s.pub[i].sent.Load() != 0 {
+			ingest = 1
+			s.pub[i].sent.Store(0)
+		}
+	}
+	s.hdr.ingest = ingest
 }
 
-func newBarrier(size uint64) *barrier { return &barrier{size: size} }
-
-func (b *barrier) wait() {
-	a := b.arrive.Add(1)
-	target := (a + b.size - 1) / b.size * b.size
-	for spins := 0; b.arrive.Load() < target; spins++ {
-		if spins >= 64 {
-			// Beyond a short spin, yield: shard counts above the core
-			// count (or a loaded machine) must make progress, not burn the
-			// quantum.
-			runtime.Gosched()
+// ingest drains column w of every shard's outbox into shard w's heap.
+// Small batches push per event; a batch large relative to the heap appends
+// everything and re-heapifies in O(heap+batch) (Floyd), which is cheaper
+// than batch×log pushes. Either way the heap ends with the same element
+// set, and because (when, key) is a strict total order the subsequent pop
+// sequence — the only thing the simulation observes — is identical.
+func (s *Sharded) ingest(w int) {
+	sh := &s.shards[w]
+	total := 0
+	for i := range s.shards {
+		total += len(s.shards[i].out[w])
+	}
+	if total == 0 {
+		return
+	}
+	if total > 32 && total > len(sh.heap) {
+		for i := range s.shards {
+			src := &s.shards[i]
+			row := src.out[w]
+			sh.heap = append(sh.heap, row...)
+			src.out[w] = row[:0]
 		}
+		sh.heapify()
+		return
+	}
+	for i := range s.shards {
+		src := &s.shards[i]
+		row := src.out[w]
+		for j := range row {
+			sh.push(row[j])
+		}
+		src.out[w] = row[:0]
+	}
+}
+
+// barrier is a monotone-counter combining barrier: arrival n completes
+// phase n/size; the last arriver of a phase runs the phase's combine
+// function (with every peer parked, so it may read all published slots)
+// and then releases the phase. The counters never reset, which avoids the
+// classic sense-reversal race where a fast worker laps a slow one.
+type barrier struct {
+	size    uint64
+	arrive  atomic.Uint64
+	_       [48]byte
+	release atomic.Uint64
+	_pad2   [56]byte
+	// spinBudget is how long a waiter hot-spins before yielding; shrunk
+	// when size exceeds GOMAXPROCS so oversubscribed runs park instead of
+	// burning whole quanta.
+	spinBudget int
+	oversubed  bool
+}
+
+func newBarrier(size uint64) *barrier {
+	b := &barrier{size: size, spinBudget: 64}
+	if int(size) > runtime.GOMAXPROCS(0) {
+		b.spinBudget = 1
+		b.oversubed = true
+	}
+	return b
+}
+
+// wait blocks until all size workers arrive; the last arriver runs combine
+// (if non-nil) before releasing the phase. The release store happens after
+// combine's writes and the waiters' loads synchronize with it, so combine's
+// results are visible to every worker on return.
+func (b *barrier) wait(combine func()) {
+	a := b.arrive.Add(1)
+	phase := (a + b.size - 1) / b.size
+	if a == phase*b.size {
+		if combine != nil {
+			combine()
+		}
+		b.release.Store(phase)
+		return
+	}
+	backoff := 0
+	for spins := 0; b.release.Load() < phase; spins++ {
+		if spins < b.spinBudget {
+			continue
+		}
+		if !b.oversubed {
+			runtime.Gosched()
+			continue
+		}
+		// Oversubscribed: escalate from yield to sleep so K ≫ GOMAXPROCS
+		// degrades to scheduling latency instead of livelock-adjacent spin.
+		if backoff < 6 {
+			runtime.Gosched()
+			backoff++
+			continue
+		}
+		shift := backoff - 6
+		if shift > 6 {
+			shift = 6
+		}
+		time.Sleep(time.Microsecond << shift)
+		backoff++
 	}
 }

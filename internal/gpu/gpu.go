@@ -132,6 +132,13 @@ type Result struct {
 	MemAccesses   uint64
 	DisabledLines int
 	Counters      *stats.Counters
+	// Sched is the engine's deterministic scheduling ledger for this run
+	// (barrier rounds, fired events/timestamps, cross-shard traffic). It is
+	// a pure function of the simulation and the shard count — not of the
+	// host — so benchmarks can gate on it even on a single-core machine. It
+	// is deliberately excluded from result digests: scheduling is not
+	// simulation semantics.
+	Sched engine.RunStats
 }
 
 // MPKI returns the run's L2 misses per kilo-instruction.
@@ -383,6 +390,27 @@ func NewShared(cfg Config, newScheme protection.Factory, shared *SharedFaults) *
 		b.scheme.Attach(b)
 		b.scheme.Reset(cfg.Voltage)
 	}
+
+	// Declare the latency topology so the engine can derive real per-shard
+	// lookahead instead of assuming the worst-case one-cycle floor. The
+	// graph is bipartite: CUs message banks (reads/stores) no sooner than
+	// the L1 latency, banks message CUs (responses) no sooner than the
+	// fastest response path — a hit (tag+data+ECC) or, for configurations
+	// with extreme pipeline latencies, a miss (tag+DRAM) — plus the one
+	// cycle every response spends in delivery. CUs never message CUs and
+	// banks never message banks, which the engine exploits: those shard
+	// pairs constrain each other only through round trips.
+	resp := cfg.L2TagLat + cfg.L2DataLat + cfg.ECCLat
+	if miss := cfg.L2TagLat + orDefault(cfg.Mem).LatencyCycles; miss < resp {
+		resp = miss
+	}
+	resp++
+	for ci := 0; ci < cfg.CUs; ci++ {
+		for bi := 0; bi < effBanks; bi++ {
+			s.eng.DeclareEdge(ci, cfg.CUs+bi, cfg.L1Lat)
+			s.eng.DeclareEdge(cfg.CUs+bi, ci, resp)
+		}
+	}
 	return s
 }
 
@@ -430,16 +458,48 @@ func (b *bankDomain) globalLineID(localID int) int {
 // --- shard control ---
 
 // SetShards selects how many engine shards (worker goroutines) the next
-// Run uses; domains are distributed round-robin. Results are bit-identical
-// at every shard count — the engine's lookahead barrier fires each
-// domain's events in canonical order regardless of grouping — so the knob
-// trades only wall-clock. K = 1 (the default) is the serial fast path.
-// Must be called between Runs.
+// Run uses. Results are bit-identical at every shard count — the engine's
+// lookahead barrier fires each domain's events in canonical order
+// regardless of grouping — so the knob trades only wall-clock. K = 1 (the
+// default) is the serial fast path. Must be called between Runs.
+//
+// For K >= 2 the CUs and the banks are placed on disjoint shard sets
+// (roughly half each, clamped to the population sizes). The latency graph
+// is bipartite — CUs only message banks and vice versa — so keeping the
+// two populations apart means every shard pair is connected only by the
+// declared CU→bank / bank→CU floors (or only by round trips through
+// them), which is what lets the engine coalesce many cycles into each
+// barrier round. Placement is a pure scheduling choice: it never affects
+// results.
 func (s *System) SetShards(k int) {
 	if k < 1 {
 		k = 1
 	}
-	s.eng.SetShards(k)
+	n := s.cfg.CUs + s.effBanks
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		s.eng.SetShards(1)
+		s.shards = 1
+		return
+	}
+	kc := k / 2
+	if kc > s.cfg.CUs {
+		kc = s.cfg.CUs
+	}
+	kb := k - kc
+	if kb > s.effBanks {
+		kb = s.effBanks
+		kc = k - kb
+	}
+	cus := s.cfg.CUs
+	s.eng.AssignShards(k, func(dom int) int {
+		if dom < cus {
+			return dom % kc
+		}
+		return kc + (dom-cus)%kb
+	})
 	s.shards = s.eng.Shards()
 }
 
@@ -685,6 +745,7 @@ func (s *System) Run(traces [][]workload.Request) Result {
 		MemAccesses:   s.memReads() - startMem,
 		DisabledLines: s.DisabledLines(),
 		Counters:      &s.ctr,
+		Sched:         s.eng.Stats(),
 	}
 	for _, c := range s.cus {
 		res.Instructions += c.instrs
@@ -861,22 +922,32 @@ func (b *bankDomain) read(addr uint64, cu int) {
 // fetch queues a line fetch on the bank's DRAM channel starting no earlier
 // than cycle from. The line has an observer (a pending fetch that will
 // evaluate memory content) from here until the fill lands.
+//
+// The CU's response is scheduled here, at fetch time, rather than when the
+// fill lands: the DRAM channel already knows the completion cycle, so the
+// response can be posted for done+1 — the same delivery cycle the fill
+// event would have produced — carrying only the address (the CU's L1 fill
+// is content-free). Timing this early is what gives the bank→CU latency
+// edge its large declared floor, and with it the engine's multi-cycle
+// round coalescing.
 func (b *bankDomain) fetch(addr uint64, cu int, from uint64) {
 	lineAddr := addr >> b.sys.lineShift
 	p := b.lineState.ref(lineAddr)
 	*p = *p&^0xFFFFFFFF | uint64(uint32(*p)+1)
 	done := b.mem.Access(from)
-	b.d.After(done-b.d.Now(), bkFill, addr, uint64(cu))
+	now := b.d.Now()
+	b.d.After(done-now, bkFill, addr, uint64(cu))
+	b.d.Send(b.sys.cus[cu].d, done+1-now, ckRetireFill, addr, 0)
 }
 
 // fill lands a fetch: the line's content is evaluated at fill time (so
-// stores that raced the fetch are reflected), installed into the bank, and
-// the response heads back to the requesting CU's L1.
+// stores that raced the fetch are reflected) and installed into the bank.
+// The CU response was already posted at fetch time for the cycle after
+// this event.
 func (b *bankDomain) fill(addr uint64, cu int) {
 	lineAddr := addr >> b.sys.lineShift
 	b.pendingDec(lineAddr)
 	b.installL2(addr, b.memContent(lineAddr))
-	b.d.Send(b.sys.cus[cu].d, 1, ckRetireFill, addr, 0)
 }
 
 // store applies a write-through update at the bank. The line's content

@@ -16,6 +16,11 @@ import (
 //	POST /v1/jobs     submit a JobRequest, block for the JobResult (JSON).
 //	                  429 + Retry-After when the queue is full, 400 on a
 //	                  bad request, 503 while draining.
+//	GET  /v1/jobs/{key}  re-fetch a completed job from the bounded retained
+//	                  registry by its content-address key (the POST
+//	                  response's "key"/ETag). 404 once evicted by the
+//	                  registry's max-entries/TTL bound or when retention
+//	                  is disabled.
 //	GET  /v1/observe  run one workload × scheme pair and stream its DFH
 //	                  resets and per-epoch samples as Server-Sent Events
 //	                  (query params: workload, scheme, voltage, requests,
@@ -28,6 +33,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{key}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/observe", s.handleObserve)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if m := s.cfg.Metrics; m != nil {
@@ -54,6 +60,25 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeSubmitError(w, r, err)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("ETag", `"`+res.Key+`"`)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+}
+
+// handleGetJob serves a completed job from the retained registry.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var res *JobResult
+	if s.retain != nil {
+		res = s.retain.get(key)
+	}
+	if res == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no retained job %q (completed jobs are evicted by the registry's size/TTL bound)", key))
+		return
+	}
+	s.retainedHits.Add(1)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Header().Set("ETag", `"`+res.Key+`"`)
 	enc := json.NewEncoder(w)

@@ -1,0 +1,126 @@
+package simserver
+
+import (
+	"sync"
+	"time"
+)
+
+// Completed-job retention defaults (Config.RetainJobs / Config.RetainTTL).
+const (
+	defaultRetainJobs = 1024
+	defaultRetainTTL  = 10 * time.Minute
+)
+
+// retainer is the bounded registry of completed job results: a fleet
+// driving the daemon can re-fetch a finished job by key (GET /v1/jobs/{key})
+// or re-submit it and be served from memory, while the registry's memory
+// stays bounded by max entries and a TTL no matter how long the daemon
+// soaks. Eviction is FIFO by completion time with lazy age checks — there
+// is no background goroutine to leak; every record/get prunes.
+type retainer struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration // <= 0: no age-based eviction
+	now     func() time.Time
+	seq     uint64
+	entries map[string]*retainEntry
+	// order holds completion-ordered (key, seq) refs. A re-completed key
+	// gets a fresh ref; stale refs (seq mismatch) are skipped on pop and
+	// compacted when the slice outgrows 2×max, so order is bounded too.
+	order []retainRef
+}
+
+type retainEntry struct {
+	res *JobResult
+	at  time.Time
+	seq uint64
+}
+
+type retainRef struct {
+	key string
+	seq uint64
+}
+
+func newRetainer(max int, ttl time.Duration, now func() time.Time) *retainer {
+	return &retainer{
+		max:     max,
+		ttl:     ttl,
+		now:     now,
+		entries: make(map[string]*retainEntry),
+	}
+}
+
+// record retains a completed job's result, evicting the oldest entries
+// beyond the capacity or TTL bound.
+func (r *retainer) record(res *JobResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.entries[res.Key] = &retainEntry{res: res, at: r.now(), seq: r.seq}
+	r.order = append(r.order, retainRef{key: res.Key, seq: r.seq})
+	r.pruneLocked()
+	if len(r.order) > 2*r.max+16 {
+		r.compactLocked()
+	}
+}
+
+// get returns the retained result for key, or nil. An expired entry is
+// evicted on access even when it is not at the front of the FIFO.
+func (r *retainer) get(key string) *JobResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	e, ok := r.entries[key]
+	if !ok {
+		return nil
+	}
+	if r.ttl > 0 && r.now().Sub(e.at) >= r.ttl {
+		delete(r.entries, key)
+		return nil
+	}
+	return e.res
+}
+
+// count returns the number of retained results.
+func (r *retainer) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	return len(r.entries)
+}
+
+// pruneLocked pops the FIFO front while it is stale, expired, or beyond
+// capacity. Entries whose age check is blocked by a refreshed front are
+// still capacity-bounded and evicted on direct access.
+func (r *retainer) pruneLocked() {
+	for len(r.order) > 0 {
+		ref := r.order[0]
+		e, ok := r.entries[ref.key]
+		if !ok || e.seq != ref.seq {
+			r.order = r.order[1:] // stale ref: the key was re-completed later
+			continue
+		}
+		expired := r.ttl > 0 && r.now().Sub(e.at) >= r.ttl
+		if expired || len(r.entries) > r.max {
+			delete(r.entries, ref.key)
+			r.order = r.order[1:]
+			continue
+		}
+		break
+	}
+	if len(r.order) == 0 && r.order != nil {
+		r.order = nil // release the drained backing array
+	}
+}
+
+// compactLocked rewrites order without stale refs, bounding its length by
+// the live entry count.
+func (r *retainer) compactLocked() {
+	live := r.order[:0:0]
+	for _, ref := range r.order {
+		if e, ok := r.entries[ref.key]; ok && e.seq == ref.seq {
+			live = append(live, ref)
+		}
+	}
+	r.order = live
+}

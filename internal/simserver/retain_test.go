@@ -1,0 +1,211 @@
+package simserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source for retainer unit tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func result(key string) *JobResult           { return &JobResult{Kind: KindRun, Key: key} }
+func keyOf(i int) string                     { return fmt.Sprintf("job-%04d", i) }
+func recordN(r *retainer, lo, hi int) (last int) {
+	for i := lo; i < hi; i++ {
+		r.record(result(keyOf(i)))
+	}
+	return hi - 1
+}
+
+// TestRetainerCapacityBound pins FIFO eviction: the registry never holds
+// more than max entries, the newest survive, and the oldest are gone.
+func TestRetainerCapacityBound(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := newRetainer(8, 0, clk.now) // ttl <= 0: capacity only
+	recordN(r, 0, 100)
+	if got := r.count(); got != 8 {
+		t.Fatalf("retained %d entries, want 8", got)
+	}
+	for i := 92; i < 100; i++ {
+		if r.get(keyOf(i)) == nil {
+			t.Errorf("newest entry %s was evicted", keyOf(i))
+		}
+	}
+	if r.get(keyOf(91)) != nil {
+		t.Error("entry beyond capacity survived")
+	}
+}
+
+// TestRetainerTTL pins age-based eviction, including entries that are not
+// at the FIFO front when they expire.
+func TestRetainerTTL(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := newRetainer(100, time.Minute, clk.now)
+	r.record(result("old"))
+	clk.advance(30 * time.Second)
+	r.record(result("young"))
+	// Re-complete "old": its age resets even though its FIFO slot is stale.
+	clk.advance(20 * time.Second)
+	r.record(result("old"))
+	clk.advance(15 * time.Second) // old is 15s, young is 35s
+	if r.get("young") == nil {
+		t.Fatal("young entry evicted early")
+	}
+	clk.advance(30 * time.Second) // young is 65s: expired; old is 45s
+	if r.get("young") != nil {
+		t.Fatal("expired entry served")
+	}
+	if r.get("old") == nil {
+		t.Fatal("re-completed entry did not get a fresh TTL")
+	}
+	clk.advance(time.Minute)
+	if got := r.count(); got != 0 {
+		t.Fatalf("%d entries survive past the TTL, want 0", got)
+	}
+}
+
+// TestRetainerOrderStaysBounded is the soak property: arbitrarily many
+// completions — including endless re-completions of the same keys — leave
+// both the entry map and the internal FIFO bounded.
+func TestRetainerOrderStaysBounded(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := newRetainer(16, time.Hour, clk.now)
+	for round := 0; round < 500; round++ {
+		recordN(r, 0, 8) // the same 8 keys, re-completed forever
+		r.record(result(keyOf(1000 + round)))
+		clk.advance(time.Second)
+	}
+	if got := r.count(); got > 16 {
+		t.Fatalf("registry holds %d entries, bound is 16", got)
+	}
+	if got := len(r.order); got > 2*16+16 {
+		t.Fatalf("FIFO holds %d refs after the soak — stale refs are accumulating", got)
+	}
+}
+
+// TestServerRetainsCompletedJobs is the integration path: completed jobs
+// are re-fetchable and identical re-submissions are served from memory
+// without executing, while the registry honors its configured bound.
+func TestServerRetainsCompletedJobs(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RetainJobs: 2})
+	ctx := context.Background()
+
+	first, err := s.Submit(ctx, smallRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := s.Stats().Executed
+
+	again, err := s.Submit(ctx, smallRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("identical re-submission did not hit the retained registry")
+	}
+	if *again.Run != *first.Run {
+		t.Fatalf("retained result diverges: %+v vs %+v", again.Run, first.Run)
+	}
+	if got := s.Stats().Executed; got != executed {
+		t.Fatalf("re-submission executed a simulation (%d -> %d jobs)", executed, got)
+	}
+	if got := s.Stats().RetainedHits; got != 1 {
+		t.Fatalf("retained_hits = %d, want 1", got)
+	}
+
+	// Two more distinct jobs evict the first (bound 2): it re-executes.
+	if _, err := s.Submit(ctx, smallRun(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(ctx, smallRun(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Retained; got != 2 {
+		t.Fatalf("retained = %d, want 2", got)
+	}
+	evicted, err := s.Submit(ctx, smallRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted.Cached {
+		t.Fatal("evicted job was served from the registry")
+	}
+}
+
+// TestRetentionDisabled pins the opt-out: RetainJobs < 0 keeps no results.
+func TestRetentionDisabled(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RetainJobs: -1})
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, smallRun(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Retained; got != 0 {
+		t.Fatalf("retained = %d with retention disabled", got)
+	}
+	res, err := s.Submit(ctx, smallRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("result served from a disabled registry")
+	}
+}
+
+// TestHTTPGetRetainedJob pins GET /v1/jobs/{key}: a completed job is
+// re-fetchable by the key the POST response carried, and an unknown or
+// evicted key is a 404.
+func TestHTTPGetRetainedJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RetainJobs: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(smallRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var posted JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&posted); err != nil {
+		t.Fatal(err)
+	}
+	if posted.Key == "" {
+		t.Fatal("POST response has no job key")
+	}
+
+	got, err := http.Get(ts.URL + "/v1/jobs/" + posted.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Body.Close()
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("GET retained job: status %d", got.StatusCode)
+	}
+	var fetched JobResult
+	if err := json.NewDecoder(got.Body).Decode(&fetched); err != nil {
+		t.Fatal(err)
+	}
+	if fetched.Key != posted.Key || *fetched.Run != *posted.Run {
+		t.Fatalf("retained fetch diverges: %+v vs %+v", fetched, posted)
+	}
+
+	miss, err := http.Get(ts.URL + "/v1/jobs/no-such-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miss.Body.Close()
+	if miss.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown job: status %d, want 404", miss.StatusCode)
+	}
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// jobs_coalesced, jobs_rejected, queue_depth, jobs_running) and the
 	// most recent sweep's task progress next to its built-in vars.
 	Metrics *obs.Metrics
+	// RetainJobs bounds the in-memory registry of completed job results
+	// (re-fetchable via GET /v1/jobs/{key}; identical re-submissions are
+	// served from it without queueing). 0 means 1024; negative disables
+	// retention entirely.
+	RetainJobs int
+	// RetainTTL bounds a retained result's age: entries older than it are
+	// evicted lazily on every record and lookup. 0 means 10 minutes;
+	// negative keeps entries until capacity evicts them.
+	RetainTTL time.Duration
 }
 
 // call is one keyed execution: the leader submits it, coalesced followers
@@ -61,6 +70,7 @@ type Server struct {
 	cfg     Config
 	workers int
 	store   *simcache.Store // nil when caching is disabled
+	retain  *retainer       // nil when retention is disabled
 
 	mu       sync.Mutex
 	closed   bool
@@ -72,11 +82,12 @@ type Server struct {
 	cancelRun context.CancelFunc
 	drained   chan struct{}
 
-	executed  atomic.Int64 // jobs a worker actually ran
-	coalesced atomic.Int64 // submissions served by joining an in-flight job
-	rejected  atomic.Int64 // submissions bounced with ErrBusy
-	queued    atomic.Int64 // jobs waiting in the queue right now
-	running   atomic.Int64 // jobs executing right now
+	executed     atomic.Int64 // jobs a worker actually ran
+	coalesced    atomic.Int64 // submissions served by joining an in-flight job
+	rejected     atomic.Int64 // submissions bounced with ErrBusy
+	queued       atomic.Int64 // jobs waiting in the queue right now
+	running      atomic.Int64 // jobs executing right now
+	retainedHits atomic.Int64 // submissions served from the retained registry
 }
 
 // Stats is a snapshot of the server's job counters.
@@ -88,19 +99,28 @@ type Stats struct {
 	Running   int64 `json:"running"`   // jobs executing right now
 	Workers   int   `json:"workers"`   // worker-pool size
 	Queue     int   `json:"queue"`     // queue capacity
+	// Retained is the number of completed job results currently held by
+	// the bounded registry; RetainedHits counts submissions served from it.
+	Retained     int   `json:"retained"`
+	RetainedHits int64 `json:"retained_hits"`
 }
 
 // Stats returns a snapshot of the job counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Executed:  s.executed.Load(),
-		Coalesced: s.coalesced.Load(),
-		Rejected:  s.rejected.Load(),
-		Queued:    s.queued.Load(),
-		Running:   s.running.Load(),
-		Workers:   s.workers,
-		Queue:     cap(s.jobs),
+	st := Stats{
+		Executed:     s.executed.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Rejected:     s.rejected.Load(),
+		Queued:       s.queued.Load(),
+		Running:      s.running.Load(),
+		Workers:      s.workers,
+		Queue:        cap(s.jobs),
+		RetainedHits: s.retainedHits.Load(),
 	}
+	if s.retain != nil {
+		st.Retained = s.retain.count()
+	}
+	return st
 }
 
 // New starts a Server: its worker pool runs until Close.
@@ -134,6 +154,17 @@ func New(cfg Config) (*Server, error) {
 		cancelRun: cancel,
 		drained:   make(chan struct{}),
 	}
+	if cfg.RetainJobs >= 0 {
+		maxJobs := cfg.RetainJobs
+		if maxJobs == 0 {
+			maxJobs = defaultRetainJobs
+		}
+		ttl := cfg.RetainTTL
+		if ttl == 0 {
+			ttl = defaultRetainTTL
+		}
+		s.retain = newRetainer(maxJobs, ttl, time.Now)
+	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -157,6 +188,13 @@ func (s *Server) publishMetrics() {
 	m.Set("queue_depth", gauge(s.queued.Load))
 	m.Set("queue_capacity", gauge(func() int64 { return int64(cap(s.jobs)) }))
 	m.Set("workers", gauge(func() int64 { return int64(s.workers) }))
+	m.Set("jobs_retained", gauge(func() int64 {
+		if s.retain == nil {
+			return 0
+		}
+		return int64(s.retain.count())
+	}))
+	m.Set("retained_hits", gauge(s.retainedHits.Load))
 }
 
 // worker executes queued jobs until the queue is closed and drained.
@@ -167,6 +205,9 @@ func (s *Server) worker() {
 		s.running.Add(1)
 		c.res, c.err = s.execute(s.runCtx, c)
 		s.running.Add(-1)
+		if c.err == nil && c.observer == nil && s.retain != nil {
+			s.retain.record(c.res)
+		}
 		s.mu.Lock()
 		delete(s.inflight, c.key)
 		s.mu.Unlock()
@@ -237,9 +278,11 @@ func runResult(res gpu.Result) *RunResult {
 
 // Submit validates and executes one job, blocking until the result is
 // ready. Identical concurrent submissions coalesce: one simulates, the
-// rest wait on it and receive the same result with Coalesced set. When the
-// queue is full Submit fails fast with ErrBusy; after Close begins it
-// fails with ErrClosed.
+// rest wait on it and receive the same result with Coalesced set. A job
+// identical to one the bounded retained registry still holds is served
+// from memory immediately, with Cached set, without touching the queue.
+// When the queue is full Submit fails fast with ErrBusy; after Close
+// begins it fails with ErrClosed.
 //
 // Cancelling ctx abandons the wait and returns ctx.Err(); the job itself
 // keeps running (other submitters may be coalesced onto it, and its result
@@ -250,7 +293,22 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (*JobResult, error)
 	if err != nil {
 		return nil, &ValidationError{Err: err}
 	}
-	c, coalesced, err := s.admit(&call{req: norm, key: norm.key(), done: make(chan struct{})})
+	key := norm.key()
+	if s.retain != nil {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		// Jobs are content-addressed and simulations deterministic, so a
+		// retained result can never be stale. Draining servers still refuse:
+		// shutdown semantics beat the fast path.
+		if res := s.retain.get(key); res != nil && !closed {
+			s.retainedHits.Add(1)
+			out := *res
+			out.Cached = true
+			return &out, nil
+		}
+	}
+	c, coalesced, err := s.admit(&call{req: norm, key: key, done: make(chan struct{})})
 	if err != nil {
 		return nil, err
 	}
