@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries soak e2e
+.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries soak e2e fleet
 
 tier1: vet build test shape doccheck
 
@@ -39,7 +39,8 @@ shape-full:
 # allocs/event, single-run wall-clock, serial sweep wall-clock, cold/warm
 # cached sweep, K=1..8 shard-scaling curve) while preserving "baseline".
 # `make bench-enforce` additionally fails on a >15% regression against the
-# committed baseline (2x on the warm-cache sweep) or on a zero-valued
+# committed baseline (2x on the warm-cache sweep, 1.5x/2x throughput
+# floors on campaign dies/s and warm-request RPS) or on a zero-valued
 # gated baseline field — the same gate CI runs at K=1.
 bench:
 	$(GO) test -bench=. -benchmem ./internal/engine ./internal/stats
@@ -58,6 +59,14 @@ soak:
 # nonzero; SIGTERM drains the daemon cleanly.
 e2e:
 	$(GO) test -v -timeout 10m ./cmd/killi-sim ./cmd/killi-simd
+
+# The CI fleet smoke, locally: a 256-die Monte Carlo campaign over two
+# schemes, writing the Vmin CDF and yield-vs-voltage CSV.
+fleet:
+	$(GO) run ./cmd/killi-fleet -dies 256 -schemes killi-1:64,msecc \
+		-requests 500 -format csv -o campaign_256.csv
+	$(GO) run ./cmd/killi-fleet -dies 256 -schemes killi-1:64,msecc \
+		-requests 500 -format table
 
 # DFH training-dynamics time series for one memory-bound and one
 # compute-bound workload (the EXPERIMENTS.md "Training dynamics" data; CI

@@ -29,8 +29,19 @@
 //   - server_cold_rps and server_hot_rps: requests per second through the
 //     killi-simd job API (internal/simserver over HTTP) — cold drives
 //     distinct jobs that all simulate, hot replays them against the warm
-//     result cache. Ungated (machine- and load-shape-dependent); tracked
-//     so the daemon's serving overhead shows up in review.
+//     result cache. Cold stays ungated (machine- and load-shape-dependent);
+//     hot gates as a loose 2x floor, because warm-request latency on a
+//     shared 1-core host swings ±35% run to run but a halving means the
+//     warm path stopped being warm (e.g. a cache-bypass bug drops it to
+//     cold throughput, three orders of magnitude below the floor);
+//   - campaign_dies_per_second: die throughput of a small serial
+//     internal/campaign Monte Carlo fleet (12 dies × two schemes × a
+//     two-point grid, 1200 requests per CU), the shared-state resolve +
+//     streaming-aggregation path killi-fleet runs. Gated as a 1.5x
+//     throughput floor — compute-bound like the sweeps, but measured once
+//     over ~a second on a possibly shared core, so it gets more headroom
+//     than their 15%; the failures it exists to catch (rebuilding fault
+//     maps per voltage, losing trace sharing) are 2x or worse.
 //
 // When the output file already exists, its "baseline" entry is preserved
 // and only "current" is rewritten; delete the file to rebase the baseline.
@@ -38,9 +49,11 @@
 // With -enforce, the run exits nonzero when the fresh measurement regresses
 // against the file's baseline entry (15% on ns_per_event,
 // single_run_seconds, sweep_seconds, and sweep_cold_seconds; 2x on the
-// ms-scale, I/O-bound sweep_warm_seconds), when allocs_per_event is
-// nonzero, or when any gated baseline field is zero — a zero baseline
-// means the gate would silently pass, so it is an error, not a skip.
+// ms-scale, I/O-bound sweep_warm_seconds; throughput floors of 1.5x on
+// campaign_dies_per_second and 2x on server_hot_rps), when
+// allocs_per_event is nonzero, or when any gated baseline field is zero —
+// a zero baseline means the gate would silently pass, so it is an error,
+// not a skip.
 // The deterministic scheduling gates are exact: cycles and serial
 // timestamps must match the baseline bit-for-bit (a change means the
 // simulation's semantics moved — rebase deliberately, with the goldens),
@@ -66,6 +79,7 @@ import (
 	"testing"
 	"time"
 
+	"killi/internal/campaign"
 	"killi/internal/engine"
 	"killi/internal/experiments"
 	"killi/internal/gpu"
@@ -83,6 +97,9 @@ type point struct {
 	SweepWarmSeconds float64 `json:"sweep_warm_seconds"`
 	ServerColdRPS    float64 `json:"server_cold_rps"`
 	ServerHotRPS     float64 `json:"server_hot_rps"`
+	// CampaignDiesPerSecond is the die throughput of the fixed serial
+	// benchmark campaign (higher is better; gated as a floor).
+	CampaignDiesPerSecond float64 `json:"campaign_dies_per_second"`
 	// Deterministic scheduling ledger of the tracked single run: exact
 	// integers stored as float64 so the struct stays comparable and the
 	// JSON stays uniform. Identical on every host at a given commit.
@@ -256,9 +273,40 @@ const (
 	serverHotN = 200 // sequential warm requests
 )
 
+// benchCampaign measures fleet-campaign die throughput: a fixed serial
+// internal/campaign run — per-die fault-map build and per-voltage resolve,
+// baseline + scheme×voltage cell simulations, streaming aggregation — sized
+// to land around a second on a 1-core host. Best of two, because the noise
+// on a shared core is purely additive slowdown.
+func benchCampaign(shards int) (diesPerSecond float64, err error) {
+	best := 0.0
+	for i := 0; i < 2; i++ {
+		res, err := campaign.Run(context.Background(), campaign.Config{
+			Workloads:     []string{"xsbench"},
+			Schemes:       []string{"killi-1:64", "msecc"},
+			Voltages:      []float64{0.600, 0.625},
+			Dies:          campaignDies,
+			Seed:          1,
+			RequestsPerCU: 1200,
+			Parallelism:   1,
+			Shards:        shards,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if res.DiesPerSecond > best {
+			best = res.DiesPerSecond
+		}
+	}
+	return best, nil
+}
+
+const campaignDies = 12
+
 // enforce compares a fresh measurement against the committed baseline and
-// returns the violations (empty = within budget). Throughput metrics gate
+// returns the violations (empty = within budget). Latency metrics gate
 // at 15%; the ms-scale, I/O-bound warm-cache sweep gates loosely at 2x;
+// throughput metrics (campaign dies/s, warm-request RPS) gate as floors;
 // allocs_per_event gates absolutely at zero (any nonzero measurement means
 // a hot path grew an allocation, e.g. an instrumentation hook escaping its
 // nil-observer guard). A zero-valued baseline on any gated field is itself
@@ -284,6 +332,28 @@ func enforce(baseline, cur point) []string {
 		if g.cur > g.base*g.maxRatio {
 			bad = append(bad, fmt.Sprintf("%s %.4f exceeds baseline %.4f by more than %d%%",
 				g.name, g.cur, g.base, int((g.maxRatio-1)*100+0.5)))
+		}
+	}
+	// Throughput floors: higher is better, so these gate downward. The
+	// ratios differ because the noise does — campaign throughput is
+	// compute-bound (1.5x floor), warm-request RPS on a shared host swings
+	// ±35% run to run, so only a halving (the shape of a cache-bypass bug)
+	// fails it.
+	for _, g := range []struct {
+		name      string
+		base, cur float64
+		minRatio  float64
+	}{
+		{"campaign_dies_per_second", baseline.CampaignDiesPerSecond, cur.CampaignDiesPerSecond, 1.5},
+		{"server_hot_rps", baseline.ServerHotRPS, cur.ServerHotRPS, 2.0},
+	} {
+		if g.base == 0 {
+			bad = append(bad, fmt.Sprintf("%s baseline is 0 — the gate cannot fire; rebase the baseline (delete the file and rerun)", g.name))
+			continue
+		}
+		if g.cur < g.base/g.minRatio {
+			bad = append(bad, fmt.Sprintf("%s %.2f fell below baseline %.2f by more than %.1fx",
+				g.name, g.cur, g.base, g.minRatio))
 		}
 	}
 	if cur.AllocsPerEvent > 0 {
@@ -352,7 +422,7 @@ func enforceCurve(baseline, cur map[string]float64, ncpu int) []string {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file for the benchmark report")
-	gate := flag.Bool("enforce", false, "exit nonzero on regression against the file's baseline entry (15% throughput, 2x warm cache), nonzero allocs_per_event, or a zero-valued gated baseline field")
+	gate := flag.Bool("enforce", false, "exit nonzero on regression against the file's baseline entry (15% latency, 2x warm cache, 1.5x/2x throughput floors), nonzero allocs_per_event, or a zero-valued gated baseline field")
 	shards := flag.Int("shards", 1, "intra-run shard count for the sweep and single-run measurements (the shard curve always covers K=1..8)")
 	flag.Parse()
 
@@ -425,6 +495,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "server: cold %.1f req/s -> hot %.1f req/s (%d jobs via the killi-simd API)\n",
 		coldRPS, hotRPS, serverJobs)
 
+	diesPerSec, err := benchCampaign(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-bench: campaign: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fleet:  %.2f dies/s (%d dies, 2 schemes x 2 voltages, 1200 req/CU, serial)\n",
+		diesPerSec, campaignDies)
+
 	cur := point{
 		NsPerEvent:                ns,
 		AllocsPerEvent:            allocs,
@@ -434,6 +512,7 @@ func main() {
 		SweepWarmSeconds:          warm,
 		ServerColdRPS:             coldRPS,
 		ServerHotRPS:              hotRPS,
+		CampaignDiesPerSecond:     diesPerSec,
 		SingleRunCycles:           float64(cycles),
 		SingleRunSerialTimestamps: float64(serialStamps),
 		SingleRunRoundsK4:         float64(roundsK4),
@@ -450,6 +529,9 @@ func main() {
 			}
 			if rep.Baseline.ServerHotRPS == 0 {
 				rep.Baseline.ServerHotRPS = cur.ServerHotRPS
+			}
+			if rep.Baseline.CampaignDiesPerSecond == 0 {
+				rep.Baseline.CampaignDiesPerSecond = cur.CampaignDiesPerSecond
 			}
 			if rep.Baseline.SingleRunCycles == 0 {
 				rep.Baseline.SingleRunCycles = cur.SingleRunCycles

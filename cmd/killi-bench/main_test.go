@@ -16,6 +16,7 @@ func goodPoint() point {
 		SweepWarmSeconds:          0.004,
 		ServerColdRPS:             25,
 		ServerHotRPS:              4500,
+		CampaignDiesPerSecond:     11,
 		SingleRunCycles:           65000,
 		SingleRunSerialTimestamps: 24000,
 		SingleRunRoundsK4:         12000,
@@ -56,6 +57,37 @@ func TestEnforceThroughputRegressions(t *testing.T) {
 	cur.SweepSeconds = base.SweepSeconds * 1.1
 	if bad := enforce(base, cur); len(bad) != 0 {
 		t.Fatalf("10%% sweep drift flagged: %v", bad)
+	}
+}
+
+// TestEnforceThroughputFloors pins the downward gates: campaign dies/s
+// fails below base/1.5, warm-request RPS only below base/2 (single-core
+// HTTP throughput is noisy, a halving is a cache-bypass shape), and
+// improvement in either direction never fires.
+func TestEnforceThroughputFloors(t *testing.T) {
+	base := goodPoint()
+
+	cur := base
+	cur.CampaignDiesPerSecond = base.CampaignDiesPerSecond / 1.7
+	assertViolation(t, enforce(base, cur), "campaign_dies_per_second")
+
+	cur = base
+	cur.ServerHotRPS = base.ServerHotRPS / 2.5
+	assertViolation(t, enforce(base, cur), "server_hot_rps")
+
+	// Inside the floors: 40% slower campaigns and 40% slower warm requests
+	// are host noise, not regressions; faster is always fine.
+	cur = base
+	cur.CampaignDiesPerSecond = base.CampaignDiesPerSecond / 1.4
+	cur.ServerHotRPS = base.ServerHotRPS / 1.4
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("in-floor throughput drift flagged: %v", bad)
+	}
+	cur = base
+	cur.CampaignDiesPerSecond = base.CampaignDiesPerSecond * 3
+	cur.ServerHotRPS = base.ServerHotRPS * 3
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("throughput improvement flagged: %v", bad)
 	}
 }
 
@@ -105,6 +137,7 @@ func TestEnforceZeroBaselines(t *testing.T) {
 	for _, name := range []string{
 		"ns_per_event", "single_run_seconds", "sweep_seconds",
 		"sweep_cold_seconds", "sweep_warm_seconds",
+		"campaign_dies_per_second", "server_hot_rps",
 		"single_run_cycles", "single_run_serial_timestamps", "single_run_rounds_k4",
 	} {
 		assertViolation(t, bad, name)

@@ -4,15 +4,18 @@
 //
 // It serves the internal/simserver JSON API:
 //
-//	POST /v1/jobs     submit a run or sweep job, block for the result.
-//	                  Identical in-flight jobs coalesce into one simulation;
-//	                  completed jobs are served from the cache. A full queue
-//	                  answers 429 with a Retry-After hint.
+//	POST /v1/jobs     submit a run, sweep, or fleet-campaign job, block for
+//	                  the result. Identical in-flight jobs coalesce into one
+//	                  simulation; completed jobs are served from the cache. A
+//	                  full queue answers 429 with a Retry-After hint.
 //	GET  /v1/jobs/{key}  re-fetch a completed job by its content-address key
 //	                  from the bounded retained registry (-retain-jobs /
 //	                  -retain-ttl); 404 once evicted.
 //	GET  /v1/observe  stream one run's DFH training dynamics as Server-Sent
 //	                  Events (per-epoch samples, state populations, resets).
+//	GET  /v1/campaign run a fleet Monte Carlo campaign (internal/campaign)
+//	                  and stream its per-die progress as Server-Sent Events,
+//	                  ending with the aggregated yield/Vmin result.
 //	GET  /healthz     liveness and queue statistics.
 //	GET  /metrics     live job counters and sweep progress (expvar JSON).
 //	GET  /debug/vars  the standard expvar page.

@@ -1,0 +1,674 @@
+// Package campaign runs fleet-scale Monte Carlo fault-map campaigns: N
+// simulated dies — each a distinct persistent fault population sampled from
+// a per-die seed stream — crossed with a voltage grid and a protection
+// scheme list, executed through the sharded simulation engine and
+// aggregated streamingly.
+//
+// The paper evaluates each scheme against a single sampled fault map per
+// voltage; a fleet deployment decision needs the distribution across device
+// instances (dpcs draws N=10,000 maps per config; HARP and the Patel thesis
+// make the same argument for profiling-based mitigation). A campaign
+// produces exactly that: per-(scheme, voltage) yield with Wilson confidence
+// intervals, normalized-execution-time moments and quantiles, and per-die
+// Vmin CDFs — the distributional version of the paper's Figure 6.
+//
+// Shared state is resolved once, the discipline the sweep established: one
+// packed TraceSet per workload serves every die, one fault Map per die
+// serves every (scheme, voltage) cell through per-voltage Resolved views,
+// and per-die fault seeds come from faultmodel.DieSeed so the streams are
+// pairwise independent and stable across hosts.
+//
+// Aggregation is streaming and bounded: online Welford moments and P²
+// quantile sketches per cell, fed in canonical die order through a bounded
+// reorder window, so memory stays O(window + cells) at any N and a campaign
+// with a fixed seed is bit-reproducible at any parallelism or shard count.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"killi/internal/experiments"
+	"killi/internal/faultmodel"
+	"killi/internal/gpu"
+	"killi/internal/protection"
+	"killi/internal/workload"
+)
+
+// DefaultVoltages is the grid a campaign sweeps when none is given: the
+// paper's operating points from the MS-ECC floor (0.575×VDD) up to the
+// fault-negligible region (0.700×VDD) in 25 mV steps.
+func DefaultVoltages() []float64 {
+	return []float64{0.575, 0.600, 0.625, 0.650, 0.675, 0.700}
+}
+
+// DefaultPassThreshold is the yield criterion: a die passes a cell when its
+// execution time stays within 10% of its own fault-free nominal-voltage
+// baseline. The paper's Figure 4 shows Killi within ~1% at 0.625×VDD, so
+// 1.10 separates "deployable" from "crippled by disable/correction traffic"
+// with a wide margin on both sides.
+const DefaultPassThreshold = 1.10
+
+// simFunc executes one prepared simulation; tests substitute a stub so the
+// aggregation pipeline can be driven with 10k+ synthetic dies in
+// milliseconds. The default is experiments.RunShared.
+type simFunc func(ctx context.Context, g gpu.Config, newScheme protection.Factory, faults *gpu.SharedFaults, traces *workload.TraceSet, shards int) (gpu.Result, error)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Workloads are the trace generators to campaign over (default
+	// {"xsbench"} — a fleet campaign over the full catalog is a deliberate
+	// choice, not a default).
+	Workloads []string
+	// Schemes lists the protection schemes by SchemeSyntax name (default
+	// {"killi-1:64", "msecc"}).
+	Schemes []string
+	// Voltages is the LV grid, any order; Run sorts it ascending. Default
+	// DefaultVoltages. Every die's fault map is sampled at the grid minimum
+	// (the map's reference voltage) and resolved per grid point.
+	Voltages []float64
+	// Dies is the number of Monte Carlo device instances (required, >= 1).
+	Dies int
+	// Seed is the campaign seed: it drives trace generation (shared by all
+	// dies) and the per-die fault-seed stream (faultmodel.DieSeed). Default 1.
+	Seed uint64
+	// RequestsPerCU is the trace length per compute unit (default 2000 —
+	// shorter than the sweep's 4000: a campaign buys its statistical power
+	// from die count, not trace length).
+	RequestsPerCU int
+	// WarmupKernels precede each measured kernel, as in experiments.Config.
+	WarmupKernels int
+	// Parallelism bounds concurrently simulating dies. 0 or 1 is serial;
+	// negative auto-budgets GOMAXPROCS/Shards. Results are bit-identical at
+	// every value: dies are aggregated in die order regardless of
+	// completion order.
+	Parallelism int
+	// Shards is the intra-simulation shard count (bit-identical at any
+	// value; 0 = 1).
+	Shards int
+	// GPU overrides the base GPU configuration (nil = Table 3). Voltage,
+	// FaultSeed, and RefVoltage are owned by the campaign and overwritten.
+	GPU *gpu.Config
+	// PassThreshold is the normalized-execution-time yield criterion
+	// (default DefaultPassThreshold).
+	PassThreshold float64
+	// Window bounds the reorder buffer between out-of-order die completion
+	// and in-order aggregation, in dies (default 4 × workers). Memory grows
+	// with Window, never with Dies.
+	Window int
+	// Progress, when non-nil, is called after each die is aggregated with
+	// (diesDone, totalDies). Calls happen in die order on the aggregating
+	// goroutine, so the callback needs no locking of its own.
+	Progress func(done, total int)
+
+	// runSim substitutes the simulation executor in tests (nil =
+	// experiments.RunShared).
+	runSim simFunc
+	// dieFaults substitutes the per-die fault-population builder in tests
+	// (nil = buildDieFaults): stub runs must not pay for — or be limited
+	// by — 32K-line fault maps they never read.
+	dieFaults func(g gpu.Config, voltages []float64) (at []*gpu.SharedFaults, nominal *gpu.SharedFaults)
+}
+
+// buildDieFaults samples one die's fault population at the grid minimum
+// (g.Voltage must equal voltages[0] == g.RefVoltage) and returns read-only
+// views resolved at every grid point plus the fault-free nominal point —
+// one map per die serving every (workload, scheme, voltage) cell.
+func buildDieFaults(g gpu.Config, voltages []float64) ([]*gpu.SharedFaults, *gpu.SharedFaults) {
+	shared := gpu.BuildSharedFaults(g)
+	at := make([]*gpu.SharedFaults, len(voltages))
+	at[0] = shared
+	for vi := 1; vi < len(voltages); vi++ {
+		at[vi] = &gpu.SharedFaults{Map: shared.Map, Resolved: shared.Map.Resolve(voltages[vi])}
+	}
+	nominal := &gpu.SharedFaults{Map: shared.Map, Resolved: shared.Map.Resolve(1.0)}
+	return at, nominal
+}
+
+// Normalized returns the config with every default made explicit, voltages
+// sorted ascending, or a one-line validation error. It is exported so the
+// simserver job layer normalizes campaign jobs exactly as Run will execute
+// them (identical jobs written differently must coalesce identically).
+func (c Config) Normalized() (Config, error) {
+	if c.Dies < 1 {
+		return c, fmt.Errorf("campaign: dies must be >= 1, got %d", c.Dies)
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"xsbench"}
+	}
+	for _, name := range c.Workloads {
+		if _, err := workload.ByName(name); err != nil {
+			return c, err
+		}
+	}
+	if len(c.Schemes) == 0 {
+		c.Schemes = []string{"killi-1:64", "msecc"}
+	}
+	for _, name := range c.Schemes {
+		if _, err := experiments.SchemeByName(name); err != nil {
+			return c, err
+		}
+	}
+	if len(c.Voltages) == 0 {
+		c.Voltages = DefaultVoltages()
+	}
+	c.Voltages = append([]float64(nil), c.Voltages...)
+	sort.Float64s(c.Voltages)
+	for i, v := range c.Voltages {
+		if v <= 0 || v > 2 {
+			return c, fmt.Errorf("campaign: voltage %.3f is outside the plausible (0, 2] x VDD range", v)
+		}
+		if i > 0 && v == c.Voltages[i-1] {
+			return c, fmt.Errorf("campaign: duplicate grid voltage %.3f", v)
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RequestsPerCU == 0 {
+		c.RequestsPerCU = 2000
+	}
+	if c.RequestsPerCU < 0 {
+		return c, fmt.Errorf("campaign: requests per CU must be positive, got %d", c.RequestsPerCU)
+	}
+	if c.WarmupKernels < 0 {
+		return c, fmt.Errorf("campaign: warmup kernels must be >= 0, got %d", c.WarmupKernels)
+	}
+	if c.PassThreshold == 0 {
+		c.PassThreshold = DefaultPassThreshold
+	}
+	if c.PassThreshold <= 1 {
+		return c, fmt.Errorf("campaign: pass threshold must exceed 1 (it bounds time normalized to the fault-free baseline), got %.3f", c.PassThreshold)
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Parallelism < 0 {
+		c.Parallelism = max(1, runtime.GOMAXPROCS(0)/c.Shards)
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("campaign: window must be >= 0 (0 means 4 x workers), got %d", c.Window)
+	}
+	if c.Window == 0 {
+		c.Window = 4 * c.Parallelism
+	}
+	return c, nil
+}
+
+func (c Config) baseGPU() gpu.Config {
+	if c.GPU != nil {
+		return *c.GPU
+	}
+	return gpu.DefaultConfig()
+}
+
+// dieRecord is one die's complete raw outcome: the fault-free baseline per
+// workload plus one sample per (workload, scheme, voltage) cell. Records
+// are small (a few scalars per cell), which is what keeps the reorder
+// window cheap.
+type dieRecord struct {
+	die    int
+	base   []uint64 // per workload: fault-free nominal-voltage cycles
+	cycles []uint64 // per cell, cellIndex-major
+	mpki   []float64
+	dis    []int32
+}
+
+// cellIndex flattens (workload, scheme, voltage) with voltage fastest, the
+// order every output walks.
+func cellIndex(cfg *Config, wi, si, vi int) int {
+	return (wi*len(cfg.Schemes)+si)*len(cfg.Voltages) + vi
+}
+
+// Run executes the campaign. Dies simulate concurrently up to
+// cfg.Parallelism; aggregation consumes records strictly in die order
+// through a reorder window of cfg.Window records, so the returned Result is
+// bit-identical at any parallelism and memory stays bounded at any die
+// count. Cancelling ctx stops in-flight simulations at their next kernel
+// boundary and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.baseGPU()
+
+	// Shared read-only state, resolved once for the whole fleet.
+	seeds := experiments.KernelSeeds(cfg.Seed, cfg.WarmupKernels)
+	traces := make([]*workload.TraceSet, len(cfg.Workloads))
+	for i, name := range cfg.Workloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = w.TraceSet(base.CUs, cfg.RequestsPerCU, seeds)
+	}
+	factories := make([]protection.Factory, len(cfg.Schemes))
+	for i, name := range cfg.Schemes {
+		if factories[i], err = experiments.SchemeFactoryByName(name); err != nil {
+			return nil, err
+		}
+	}
+	noneFactory, err := experiments.SchemeFactoryByName("none")
+	if err != nil {
+		return nil, err
+	}
+	sim := cfg.runSim
+	if sim == nil {
+		sim = experiments.RunShared
+	}
+	dieFaults := cfg.dieFaults
+	if dieFaults == nil {
+		dieFaults = buildDieFaults
+	}
+
+	refV := cfg.Voltages[0]
+	cells := len(cfg.Workloads) * len(cfg.Schemes) * len(cfg.Voltages)
+	runDie := func(die int) (*dieRecord, error) {
+		rec := &dieRecord{
+			die:    die,
+			base:   make([]uint64, len(cfg.Workloads)),
+			cycles: make([]uint64, cells),
+			mpki:   make([]float64, cells),
+			dis:    make([]int32, cells),
+		}
+		g := base
+		g.FaultSeed = faultmodel.DieSeed(cfg.Seed, die)
+		g.RefVoltage = refV
+
+		// One fault population per die, resolved once per operating point
+		// and shared across every workload × scheme at that point.
+		gRef := g
+		gRef.Voltage = refV
+		faultsAt, faultsNominal := dieFaults(gRef, cfg.Voltages)
+
+		for wi := range cfg.Workloads {
+			// The die's own fault-free nominal baseline: replacement and
+			// soft-error RNG streams derive from the die seed, so baselines
+			// differ (slightly) per die and each die normalizes against
+			// itself, as a real binned part would.
+			g.Voltage = 1.0
+			res, err := sim(ctx, g, noneFactory, faultsNominal, traces[wi], cfg.Shards)
+			if err != nil {
+				return nil, err
+			}
+			rec.base[wi] = res.Cycles
+			for si := range cfg.Schemes {
+				for vi, v := range cfg.Voltages {
+					g.Voltage = v
+					res, err := sim(ctx, g, factories[si], faultsAt[vi], traces[wi], cfg.Shards)
+					if err != nil {
+						return nil, err
+					}
+					ci := cellIndex(&cfg, wi, si, vi)
+					rec.cycles[ci] = res.Cycles
+					rec.mpki[ci] = res.MPKI()
+					rec.dis[ci] = int32(res.DisabledLines)
+				}
+			}
+		}
+		return rec, nil
+	}
+
+	agg := newAggregator(&cfg)
+	start := time.Now()
+
+	if cfg.Parallelism <= 1 {
+		for d := 0; d < cfg.Dies; d++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			rec, err := runDie(d)
+			if err != nil {
+				return nil, err
+			}
+			agg.consume(rec)
+			if cfg.Progress != nil {
+				cfg.Progress(d+1, cfg.Dies)
+			}
+		}
+	} else if err := runParallel(ctx, &cfg, runDie, agg); err != nil {
+		return nil, err
+	}
+
+	res := agg.finalize()
+	res.ElapsedSeconds = time.Since(start).Seconds()
+	if res.ElapsedSeconds > 0 {
+		res.DiesPerSecond = float64(cfg.Dies) / res.ElapsedSeconds
+	}
+	return res, nil
+}
+
+// runParallel fans dies out over a worker pool while the caller goroutine
+// aggregates completed records strictly in die order. The token channel is
+// the memory bound: a die may only be dispatched while fewer than
+// cfg.Window dies are un-aggregated, so pending records (in the reorder map
+// or the results buffer) never exceed the window. Because the results
+// channel's capacity equals the window, workers never block on it — the
+// pipeline cannot deadlock.
+func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord, error), agg *aggregator) error {
+	workers := min(cfg.Parallelism, cfg.Dies)
+	tokens := make(chan struct{}, cfg.Window)
+	dies := make(chan int)
+	recs := make(chan *dieRecord, cfg.Window)
+	errc := make(chan error, 1)
+
+	go func() {
+		defer close(dies)
+		for d := 0; d < cfg.Dies; d++ {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case dies <- d:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range dies {
+				if ctx.Err() != nil {
+					continue // drain the channel without starting work
+				}
+				rec, err := runDie(d)
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					continue
+				}
+				recs <- rec
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(recs) }()
+
+	pending := make(map[int]*dieRecord, cfg.Window)
+	next := 0
+	for rec := range recs {
+		pending[rec.die] = rec
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			agg.consume(r)
+			next++
+			<-tokens
+			if cfg.Progress != nil {
+				cfg.Progress(next, cfg.Dies)
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	if next != cfg.Dies {
+		return fmt.Errorf("campaign: aggregated %d of %d dies without an error (dispatch bug)", next, cfg.Dies)
+	}
+	return nil
+}
+
+// cellAgg is the streaming state of one (workload, scheme, voltage) cell.
+type cellAgg struct {
+	norm     welford
+	mpki     welford
+	disabled welford
+	q50      *p2
+	q90      *p2
+	q99      *p2
+	pass     int64
+}
+
+// vminAgg is the streaming state of one (workload, scheme) Vmin
+// distribution: counts over the (small, fixed) grid plus a moment
+// accumulator over passing dies. The grid makes the CDF exact — no sketch
+// needed.
+type vminAgg struct {
+	counts []int64 // per grid index
+	fails  int64   // dies failing even at the grid maximum
+	mean   welford
+}
+
+type aggregator struct {
+	cfg   *Config
+	cells []cellAgg
+	vmin  []vminAgg
+	base  []welford // per workload: baseline cycles across dies
+}
+
+func newAggregator(cfg *Config) *aggregator {
+	a := &aggregator{
+		cfg:   cfg,
+		cells: make([]cellAgg, len(cfg.Workloads)*len(cfg.Schemes)*len(cfg.Voltages)),
+		vmin:  make([]vminAgg, len(cfg.Workloads)*len(cfg.Schemes)),
+		base:  make([]welford, len(cfg.Workloads)),
+	}
+	for i := range a.cells {
+		a.cells[i].q50 = newP2(0.50)
+		a.cells[i].q90 = newP2(0.90)
+		a.cells[i].q99 = newP2(0.99)
+	}
+	for i := range a.vmin {
+		a.vmin[i].counts = make([]int64, len(cfg.Voltages))
+	}
+	return a
+}
+
+// consume folds one die into every accumulator. Callers feed records in
+// strict die order; this is what makes every floating-point aggregate a
+// pure function of the campaign seed.
+func (a *aggregator) consume(rec *dieRecord) {
+	cfg := a.cfg
+	for wi := range cfg.Workloads {
+		a.base[wi].add(float64(rec.base[wi]))
+		for si := range cfg.Schemes {
+			// Vmin: the lowest grid voltage from which the die passes at
+			// every higher grid point too (failures are monotone in voltage;
+			// requiring a passing suffix keeps a fluke pass at one low point
+			// from understating Vmin).
+			vminIdx := len(cfg.Voltages)
+			for vi := len(cfg.Voltages) - 1; vi >= 0; vi-- {
+				ci := cellIndex(cfg, wi, si, vi)
+				c := &a.cells[ci]
+				norm := float64(rec.cycles[ci]) / float64(rec.base[wi])
+				c.norm.add(norm)
+				c.mpki.add(rec.mpki[ci])
+				c.disabled.add(float64(rec.dis[ci]))
+				c.q50.add(norm)
+				c.q90.add(norm)
+				c.q99.add(norm)
+				if norm <= cfg.PassThreshold {
+					c.pass++
+					if vminIdx == vi+1 {
+						vminIdx = vi
+					}
+				}
+			}
+			va := &a.vmin[wi*len(cfg.Schemes)+si]
+			if vminIdx < len(cfg.Voltages) {
+				va.counts[vminIdx]++
+				va.mean.add(cfg.Voltages[vminIdx])
+			} else {
+				va.fails++
+			}
+		}
+	}
+}
+
+func (a *aggregator) finalize() *Result {
+	cfg := a.cfg
+	res := &Result{
+		Dies:          cfg.Dies,
+		Seed:          cfg.Seed,
+		RequestsPerCU: cfg.RequestsPerCU,
+		WarmupKernels: cfg.WarmupKernels,
+		PassThreshold: cfg.PassThreshold,
+		Workloads:     cfg.Workloads,
+		Schemes:       cfg.Schemes,
+		Voltages:      cfg.Voltages,
+	}
+	for wi, w := range cfg.Workloads {
+		res.Baselines = append(res.Baselines, Baseline{
+			Workload:   w,
+			CyclesMean: a.base[wi].mean,
+			CyclesStd:  a.base[wi].std(),
+		})
+		for si, s := range cfg.Schemes {
+			for vi, v := range cfg.Voltages {
+				c := &a.cells[cellIndex(cfg, wi, si, vi)]
+				lo, hi := wilson(c.pass, c.norm.n)
+				res.Cells = append(res.Cells, Cell{
+					Workload:     w,
+					Scheme:       s,
+					Voltage:      v,
+					Dies:         c.norm.n,
+					Yield:        float64(c.pass) / float64(c.norm.n),
+					YieldLo:      lo,
+					YieldHi:      hi,
+					NormMean:     c.norm.mean,
+					NormStd:      c.norm.std(),
+					NormQ50:      c.q50.quantile(),
+					NormQ90:      c.q90.quantile(),
+					NormQ99:      c.q99.quantile(),
+					MPKIMean:     c.mpki.mean,
+					MPKIStd:      c.mpki.std(),
+					DisabledMean: c.disabled.mean,
+				})
+			}
+			va := &a.vmin[wi*len(cfg.Schemes)+si]
+			cdf := VminCDF{
+				Workload: w,
+				Scheme:   s,
+				FailFrac: float64(va.fails) / float64(cfg.Dies),
+				MeanVmin: va.mean.mean, // 0 when no die passes anywhere
+			}
+			var cum int64
+			for vi, v := range cfg.Voltages {
+				cum += va.counts[vi]
+				cdf.Points = append(cdf.Points, VminPoint{
+					Voltage: v,
+					Count:   va.counts[vi],
+					CumFrac: float64(cum) / float64(cfg.Dies),
+				})
+			}
+			res.Vmin = append(res.Vmin, cdf)
+		}
+	}
+	return res
+}
+
+// Baseline is one workload's fault-free nominal-voltage execution time
+// across the fleet (dies differ through their seed-derived replacement
+// RNG, so the baseline is a narrow distribution, not a constant).
+type Baseline struct {
+	Workload   string  `json:"workload"`
+	CyclesMean float64 `json:"cycles_mean"`
+	CyclesStd  float64 `json:"cycles_std"`
+}
+
+// Cell is the aggregated outcome of one (workload, scheme, voltage) grid
+// point across every die.
+type Cell struct {
+	Workload string  `json:"workload"`
+	Scheme   string  `json:"scheme"`
+	Voltage  float64 `json:"voltage"`
+	Dies     int64   `json:"dies"`
+	// Yield is the fraction of dies passing the normalized-time criterion
+	// at this point; [YieldLo, YieldHi] is its 95% Wilson interval.
+	Yield   float64 `json:"yield"`
+	YieldLo float64 `json:"yield_lo"`
+	YieldHi float64 `json:"yield_hi"`
+	// Norm* summarize execution time normalized to the die's own fault-free
+	// baseline: Welford moments and P² quantile estimates.
+	NormMean float64 `json:"norm_mean"`
+	NormStd  float64 `json:"norm_std"`
+	NormQ50  float64 `json:"norm_q50"`
+	NormQ90  float64 `json:"norm_q90"`
+	NormQ99  float64 `json:"norm_q99"`
+	MPKIMean float64 `json:"mpki_mean"`
+	MPKIStd  float64 `json:"mpki_std"`
+	// DisabledMean is the mean count of L2 lines the scheme disabled.
+	DisabledMean float64 `json:"disabled_mean"`
+}
+
+// VminPoint is one grid step of a Vmin CDF.
+type VminPoint struct {
+	Voltage float64 `json:"voltage"`
+	// Count is the number of dies whose Vmin is exactly this grid voltage;
+	// CumFrac is the fraction of all dies with Vmin <= it — the CDF value.
+	Count   int64   `json:"count"`
+	CumFrac float64 `json:"cum_frac"`
+}
+
+// VminCDF is the per-die minimum-deployable-voltage distribution of one
+// (workload, scheme) pair: Vmin is the lowest grid voltage from which the
+// die passes at every higher grid point too.
+type VminCDF struct {
+	Workload string      `json:"workload"`
+	Scheme   string      `json:"scheme"`
+	Points   []VminPoint `json:"points"`
+	// FailFrac is the fraction of dies that fail even at the grid maximum
+	// (their Vmin lies above the grid).
+	FailFrac float64 `json:"fail_frac"`
+	// MeanVmin averages Vmin over dies that pass somewhere on the grid
+	// (0 when none do).
+	MeanVmin float64 `json:"mean_vmin"`
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Dies          int       `json:"dies"`
+	Seed          uint64    `json:"seed"`
+	RequestsPerCU int       `json:"requests_per_cu"`
+	WarmupKernels int       `json:"warmup_kernels"`
+	PassThreshold float64   `json:"pass_threshold"`
+	Workloads     []string  `json:"workloads"`
+	Schemes       []string  `json:"schemes"`
+	Voltages      []float64 `json:"voltages"`
+
+	Baselines []Baseline `json:"baselines"`
+	Cells     []Cell     `json:"cells"`
+	Vmin      []VminCDF  `json:"vmin"`
+
+	// ElapsedSeconds and DiesPerSecond describe the execution, not the
+	// simulation: they vary by host and are excluded from every
+	// determinism comparison.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	DiesPerSecond  float64 `json:"dies_per_second"`
+}
+
+// YieldAt returns the yield of one (workload, scheme, voltage) cell, or
+// NaN when the cell is not in the result. Voltage matches exactly (grid
+// values round-trip unchanged through the config).
+func (r *Result) YieldAt(workloadName, scheme string, voltage float64) float64 {
+	for _, c := range r.Cells {
+		if c.Workload == workloadName && c.Scheme == scheme && c.Voltage == voltage {
+			return c.Yield
+		}
+	}
+	return math.NaN()
+}

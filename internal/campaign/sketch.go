@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+)
+
+// welford is Welford's online mean/variance accumulator: one pass, O(1)
+// memory, numerically stable at any N. The campaign aggregator feeds every
+// accumulator in canonical die order, so the floating-point result is a
+// pure function of the campaign seed — bit-reproducible at any parallelism.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// std returns the sample standard deviation (n-1 denominator); 0 below two
+// observations.
+func (w *welford) std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// p2 estimates one quantile online with the P² algorithm (Jain & Chlamtac,
+// CACM 1985): five markers, O(1) memory per quantile at any N, no stored
+// samples. Below five observations it falls back to the exact order
+// statistic over the buffered values. Like welford, it is deterministic in
+// the input order, which the aggregator fixes to die order.
+type p2 struct {
+	p    float64
+	n    int64      // observations seen
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+}
+
+func newP2(p float64) *p2 {
+	s := &p2{p: p}
+	s.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	s.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return s
+}
+
+func (s *p2) add(x float64) {
+	if s.n < 5 {
+		s.q[s.n] = x
+		s.n++
+		if s.n == 5 {
+			sort.Float64s(s.q[:])
+			for i := range s.pos {
+				s.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	s.n++
+
+	// Find the marker cell containing x, adjusting the extremes.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions with
+	// piecewise-parabolic (falling back to linear) height interpolation.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := s.parabolic(i, sign)
+			if s.q[i-1] < h && h < s.q[i+1] {
+				s.q[i] = h
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+func (s *p2) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.q[i+1]-s.q[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.q[i]-s.q[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+func (s *p2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// quantile returns the current estimate. Below five observations it is the
+// exact interpolated order statistic of the buffered samples; with no
+// observations it is 0 (never NaN — results are JSON-encoded).
+func (s *p2) quantile() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if s.n < 5 {
+		buf := append([]float64(nil), s.q[:s.n]...)
+		sort.Float64s(buf)
+		// Linear interpolation between order statistics.
+		r := s.p * float64(len(buf)-1)
+		lo := int(math.Floor(r))
+		hi := int(math.Ceil(r))
+		return buf[lo] + (r-float64(lo))*(buf[hi]-buf[lo])
+	}
+	return s.q[2]
+}
+
+// wilson returns the 95% Wilson score interval for k successes in n trials
+// — the coverage confidence interval reported next to every yield number.
+// It behaves sensibly at k = 0 and k = n, where the naive normal interval
+// collapses to a point.
+func wilson(k, n int64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	const z = 1.959963984540054 // 97.5th normal percentile
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := p + z*z/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

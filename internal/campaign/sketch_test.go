@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"killi/internal/xrand"
+)
+
+// exactQuantile is the interpolated order statistic the P² sketch
+// approximates.
+func exactQuantile(sorted []float64, p float64) float64 {
+	r := p * float64(len(sorted)-1)
+	lo := int(math.Floor(r))
+	hi := int(math.Ceil(r))
+	return sorted[lo] + (r-float64(lo))*(sorted[hi]-sorted[lo])
+}
+
+func TestP2TracksExactQuantiles(t *testing.T) {
+	r := xrand.New(7)
+	const n = 20000
+	data := make([]float64, n)
+	for i := range data {
+		// A skewed mixture, closer to normalized-execution-time shapes than
+		// a uniform: mostly near 1.0 with a heavy upper tail.
+		x := 1.0 + 0.02*r.Float64()
+		if r.Float64() < 0.05 {
+			x += r.Float64()
+		}
+		data[i] = x
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		s := newP2(p)
+		for _, x := range data {
+			s.add(x)
+		}
+		sorted := append([]float64(nil), data...)
+		sort.Float64s(sorted)
+		want := exactQuantile(sorted, p)
+		got := s.quantile()
+		// P² is an approximation; for 20k samples of a smooth mixture it
+		// lands well within a few percent of the exact order statistic.
+		if math.Abs(got-want) > 0.05*math.Max(want, 1) {
+			t.Errorf("p=%.2f: P² %.5f vs exact %.5f", p, got, want)
+		}
+	}
+}
+
+func TestP2SmallSamplesAreExact(t *testing.T) {
+	s := newP2(0.5)
+	for _, x := range []float64{3, 1, 2} {
+		s.add(x)
+	}
+	if got := s.quantile(); got != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", got)
+	}
+	if got := newP2(0.9).quantile(); got != 0 {
+		t.Errorf("empty sketch quantile = %v, want 0", got)
+	}
+}
+
+func TestP2Deterministic(t *testing.T) {
+	feed := func() float64 {
+		s := newP2(0.9)
+		r := xrand.New(42)
+		for i := 0; i < 5000; i++ {
+			s.add(r.Float64())
+		}
+		return s.quantile()
+	}
+	if a, b := feed(), feed(); a != b {
+		t.Errorf("same input order produced %v then %v", a, b)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	r := xrand.New(3)
+	const n = 10000
+	var w welford
+	data := make([]float64, n)
+	sum := 0.0
+	for i := range data {
+		data[i] = 100 + r.Float64()
+		w.add(data[i])
+		sum += data[i]
+	}
+	mean := sum / n
+	var m2 float64
+	for _, x := range data {
+		m2 += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(m2 / (n - 1))
+	if math.Abs(w.mean-mean) > 1e-9 {
+		t.Errorf("mean %v vs two-pass %v", w.mean, mean)
+	}
+	if math.Abs(w.std()-std) > 1e-9 {
+		t.Errorf("std %v vs two-pass %v", w.std(), std)
+	}
+	var single welford
+	single.add(5)
+	if single.std() != 0 {
+		t.Errorf("std of one sample = %v, want 0", single.std())
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := wilson(0, 100)
+	if lo != 0 || hi <= 0 || hi > 0.1 {
+		t.Errorf("wilson(0,100) = [%v, %v]", lo, hi)
+	}
+	lo, hi = wilson(100, 100)
+	if hi != 1 || lo >= 1 || lo < 0.9 {
+		t.Errorf("wilson(100,100) = [%v, %v]", lo, hi)
+	}
+	lo, hi = wilson(50, 100)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("wilson(50,100) = [%v, %v] does not contain 0.5", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Errorf("wilson(50,100) = [%v, %v] is implausibly wide", lo, hi)
+	}
+	lo, hi = wilson(0, 0)
+	if lo != 0 || hi != 0 {
+		t.Errorf("wilson(0,0) = [%v, %v], want [0, 0]", lo, hi)
+	}
+}

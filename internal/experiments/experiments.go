@@ -296,8 +296,13 @@ func kernelSeed(seed uint64, k int) uint64 {
 	return seed ^ (uint64(k) * 0xa24baed4963ee407)
 }
 
-// kernelSeeds lists the trace seeds for a warmup+measured kernel sequence.
-func kernelSeeds(seed uint64, warmups int) []uint64 {
+// KernelSeeds lists the trace seeds for a warmup+measured kernel sequence:
+// element k drives kernel k, with kernel 0 using the configured seed
+// unchanged. Exported for internal/campaign, which builds each workload's
+// TraceSet once and shares it across every die of a fleet — the traces must
+// be exactly the ones Run and RunOne would generate, so the derivation is
+// pinned by TestKernelSeedsGolden.
+func KernelSeeds(seed uint64, warmups int) []uint64 {
 	out := make([]uint64, warmups+1)
 	for k := range out {
 		out[k] = kernelSeed(seed, k)
@@ -380,7 +385,7 @@ func Run(ctx context.Context, cfg Config) ([]Row, error) {
 	// Resolve workloads and generate every kernel's traces up front, so
 	// unknown names fail before any simulation runs and the (read-only)
 	// packed traces are shared across that workload's tasks.
-	seeds := kernelSeeds(cfg.Seed, cfg.WarmupKernels)
+	seeds := KernelSeeds(cfg.Seed, cfg.WarmupKernels)
 	loads := make([]workload.Workload, len(cfg.Workloads))
 	traces := make([]*workload.TraceSet, len(cfg.Workloads))
 	for i, name := range cfg.Workloads {
@@ -545,9 +550,26 @@ func RunOne(ctx context.Context, cfg Config, workloadName string, newScheme prot
 	}
 	g := cfg.baseGPU()
 	g.Voltage = voltage
-	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
+	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, KernelSeeds(cfg.Seed, cfg.WarmupKernels))
 	sys := gpu.New(g, newScheme)
 	sys.SetShards(cfg.Shards)
+	return runKernels(ctx, sys, traces)
+}
+
+// RunShared runs one fully prepared simulation: the caller supplies the
+// complete gpu.Config (voltage, fault seed, and reference voltage already
+// set), a pre-built shared fault population, and pre-generated traces, and
+// gets the raw result back. This is the campaign building block: a fleet
+// run executes thousands of dies against one packed TraceSet per workload
+// and one fault Map per die (resolved once per grid voltage), so the
+// per-simulation work here is exactly the kernel loop — the same sharing
+// discipline the sweep established in Run. The result is bit-identical to
+// RunOne with the equivalent configuration (pinned by
+// TestRunSharedMatchesRunOne). Cancelling ctx stops at the next kernel
+// boundary and returns ctx.Err().
+func RunShared(ctx context.Context, g gpu.Config, newScheme protection.Factory, faults *gpu.SharedFaults, traces *workload.TraceSet, shards int) (gpu.Result, error) {
+	sys := gpu.NewShared(g, newScheme, faults)
+	sys.SetShards(shards)
 	return runKernels(ctx, sys, traces)
 }
 
@@ -602,7 +624,7 @@ func RunOneObserved(ctx context.Context, cfg Config, workloadName string, newSch
 	}
 	g := cfg.baseGPU()
 	g.Voltage = voltage
-	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, kernelSeeds(cfg.Seed, cfg.WarmupKernels))
+	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, KernelSeeds(cfg.Seed, cfg.WarmupKernels))
 	sys := gpu.New(g, newScheme)
 	sys.SetShards(cfg.Shards)
 	sys.SetObserver(o, epochCycles)

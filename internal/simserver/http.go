@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"killi/internal/experiments"
 	"killi/internal/obs"
 )
 
@@ -27,6 +28,13 @@ import (
 //	                  seed, warmup, shards, epoch), ending with a "result"
 //	                  event. Slow subscribers miss events rather than stall
 //	                  the simulation; a "done" event reports the drop count.
+//	GET  /v1/campaign run a fleet Monte Carlo campaign and stream its
+//	                  per-die progress as Server-Sent Events (query params:
+//	                  dies, workloads, schemes, voltages, requests, seed,
+//	                  warmup, shards, threshold), ending with a "result"
+//	                  event carrying the aggregated campaign.Result. Plain
+//	                  (non-streamed) campaigns POST /v1/jobs with kind
+//	                  "campaign" instead and get coalescing and retention.
 //	GET  /healthz     liveness + queue stats (JSON).
 //	GET  /metrics     the obs.Metrics document when the server has one.
 //	GET  /debug/vars  the standard expvar page.
@@ -35,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/observe", s.handleObserve)
+	mux.HandleFunc("GET /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if m := s.cfg.Metrics; m != nil {
 		mux.Handle("GET /metrics", m.Handler())
@@ -195,6 +204,13 @@ func (o *streamObserver) OnEpoch(sample obs.Sample) {
 	o.send(observeEvent{name: "epoch", data: epochEvent{Sample: sample, L2MPKI: sample.MPKI(), DFH: dfh}})
 }
 
+// outcome is a streamed job's final result, handed from the submitting
+// goroutine to the SSE loop.
+type outcome struct {
+	res *JobResult
+	err error
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	req, err := observeRequest(r)
 	if err != nil {
@@ -208,21 +224,62 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	o := newStreamObserver()
-	type outcome struct {
-		res *JobResult
-		err error
-	}
 	done := make(chan outcome, 1)
 	go func() {
 		res, err := s.SubmitObserved(r.Context(), req, o)
 		done <- outcome{res, err}
 	}()
+	s.streamSSE(w, r, flusher, o.ch, done, func() int64 { return o.dropped })
+}
 
-	// The SSE headers are only correct once the job is admitted; a queue
-	// rejection must still be a plain 429. Admission is fast (it never
-	// waits on simulations), so peek for an immediate error before
-	// committing to the stream: the first event or the outcome, whichever
-	// comes first, decides.
+// handleCampaign runs a campaign job with a live progress subscription:
+// throttled "progress" events while dies aggregate, then the "result" and
+// "done" events the observe stream also ends with.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	req, err := campaignRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+
+	ch := make(chan observeEvent, 64)
+	var dropped int64
+	var lastSent int
+	// Called in die order on the aggregating goroutine (one goroutine, so
+	// lastSent needs no lock). Throttled to ~0.5% steps; sends never block,
+	// so a slow subscriber misses progress rather than stalling aggregation.
+	progress := func(done, total int) {
+		if step := max(1, total/200); done != total && done-lastSent < step {
+			return
+		}
+		lastSent = done
+		select {
+		case ch <- observeEvent{name: "progress", data: map[string]int{"dies_done": done, "dies_total": total}}:
+		default:
+			dropped++
+		}
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.SubmitCampaignObserved(r.Context(), req, progress)
+		done <- outcome{res, err}
+	}()
+	s.streamSSE(w, r, flusher, ch, done, func() int64 { return dropped })
+}
+
+// streamSSE pumps a streamed job's events and final outcome to an SSE
+// subscriber. The SSE headers are only correct once the job is admitted; a
+// queue rejection must still be a plain 429. Admission is fast (it never
+// waits on simulations), so peek for an immediate error before committing
+// to the stream: the first event or the outcome, whichever comes first,
+// decides. dropped is read only after the job finishes (the submit
+// goroutine's send on done orders it).
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, flusher http.Flusher, events <-chan observeEvent, done <-chan outcome, dropped func() int64) {
 	var started bool
 	writeEvent := func(ev observeEvent) {
 		if !started {
@@ -240,13 +297,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case ev := <-o.ch:
+		case ev := <-events:
 			writeEvent(ev)
 		case out := <-done:
-			// Drain events the simulation emitted before finishing.
+			// Drain events the job emitted before finishing.
 			for {
 				select {
-				case ev := <-o.ch:
+				case ev := <-events:
 					writeEvent(ev)
 					continue
 				default:
@@ -262,10 +319,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			writeEvent(observeEvent{name: "result", data: out.res})
-			writeEvent(observeEvent{name: "done", data: map[string]int64{"dropped_events": o.dropped}})
+			writeEvent(observeEvent{name: "done", data: map[string]int64{"dropped_events": dropped()}})
 			return
 		case <-r.Context().Done():
-			// Subscriber gone; SubmitObserved cancels the run. Drain the
+			// Subscriber gone; the submit path cancels the job. Drain the
 			// goroutine and stop.
 			<-done
 			return
@@ -302,6 +359,47 @@ func observeRequest(r *http.Request) (JobRequest, error) {
 			return req, fmt.Errorf("bad voltage %q: %v", raw, err)
 		}
 		req.Voltage = v
+	}
+	return req, nil
+}
+
+// campaignRequest builds the campaign JobRequest from /v1/campaign query
+// params. Validation proper happens in normalization — this only parses.
+func campaignRequest(r *http.Request) (JobRequest, error) {
+	q := r.URL.Query()
+	req := JobRequest{
+		Kind:      KindCampaign,
+		Workloads: experiments.SplitList(q.Get("workloads")),
+		Schemes:   experiments.SplitList(q.Get("schemes")),
+	}
+	for name, set := range map[string]func(uint64){
+		"dies":     func(v uint64) { req.Dies = int(v) },
+		"requests": func(v uint64) { req.RequestsPerCU = int(v) },
+		"seed":     func(v uint64) { req.Seed = v },
+		"warmup":   func(v uint64) { req.WarmupKernels = int(v) },
+		"shards":   func(v uint64) { req.Shards = int(v) },
+	} {
+		if raw := q.Get(name); raw != "" {
+			v, err := strconv.ParseUint(raw, 10, 63)
+			if err != nil {
+				return req, fmt.Errorf("bad %s %q: %v", name, raw, err)
+			}
+			set(v)
+		}
+	}
+	if raw := q.Get("threshold"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad threshold %q: %v", raw, err)
+		}
+		req.PassThreshold = v
+	}
+	for _, raw := range experiments.SplitList(q.Get("voltages")) {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad voltage %q: %v", raw, err)
+		}
+		req.Voltages = append(req.Voltages, v)
 	}
 	return req, nil
 }

@@ -1,5 +1,6 @@
 // Package simserver is the resident simulation service behind cmd/killi-simd:
-// a job engine that accepts single-run and sweep requests, dedupes identical
+// a job engine that accepts single-run, sweep, and fleet-campaign requests,
+// dedupes identical
 // in-flight requests (singleflight-style coalescing keyed on the simcache
 // SHA-256 digest of the job's result-determining inputs), bounds concurrent
 // work with a worker pool budgeted against GOMAXPROCS (shards × workers),
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"killi/internal/campaign"
 	"killi/internal/experiments"
 	"killi/internal/gpu"
 	"killi/internal/simcache"
@@ -25,8 +27,9 @@ import (
 
 // Job kinds.
 const (
-	KindSweep = "sweep" // the Figure 4/5 workload × scheme grid
-	KindRun   = "run"   // one workload × scheme simulation
+	KindSweep    = "sweep"    // the Figure 4/5 workload × scheme grid
+	KindRun      = "run"      // one workload × scheme simulation
+	KindCampaign = "campaign" // a fleet Monte Carlo campaign (internal/campaign)
 )
 
 // JobRequest describes one job. The zero value of every optional field
@@ -63,6 +66,37 @@ type JobRequest struct {
 	// EpochCycles sets the sampling epoch for observe streams (default
 	// gpu.DefaultEpochCycles). Ignored for plain jobs.
 	EpochCycles uint64 `json:"epoch_cycles,omitempty"`
+	// Dies is a campaign job's Monte Carlo device-instance count (required
+	// for campaigns, rejected elsewhere).
+	Dies int `json:"dies,omitempty"`
+	// Voltages is a campaign job's operating-point grid (default: the
+	// paper's 0.575..0.700 grid). Campaigns sweep a grid, so they take this
+	// instead of the scalar Voltage.
+	Voltages []float64 `json:"voltages,omitempty"`
+	// Schemes is a campaign job's protection-scheme list (default
+	// {"killi-1:64", "msecc"}).
+	Schemes []string `json:"schemes,omitempty"`
+	// PassThreshold is a campaign job's yield criterion (default 1.10).
+	PassThreshold float64 `json:"pass_threshold,omitempty"`
+}
+
+// campaignConfig translates a campaign request into the campaign.Config its
+// execution uses; campaign.Config.Normalized is the single validation and
+// defaulting path, so a job and a killi-fleet invocation with the same
+// inputs mean the same campaign.
+func (r JobRequest) campaignConfig() campaign.Config {
+	return campaign.Config{
+		Workloads:     r.Workloads,
+		Schemes:       r.Schemes,
+		Voltages:      r.Voltages,
+		Dies:          r.Dies,
+		Seed:          r.Seed,
+		RequestsPerCU: r.RequestsPerCU,
+		WarmupKernels: r.WarmupKernels,
+		Parallelism:   r.Parallelism,
+		Shards:        r.Shards,
+		PassThreshold: r.PassThreshold,
+	}
 }
 
 // normalized returns the request with every default made explicit, or a
@@ -71,10 +105,15 @@ type JobRequest struct {
 func (r JobRequest) normalized(defaultShards, maxProcs int) (JobRequest, error) {
 	switch r.Kind {
 	case KindSweep, KindRun:
+	case KindCampaign:
+		return r.normalizedCampaign(defaultShards, maxProcs)
 	case "":
-		return r, fmt.Errorf(`job kind is required ("%s" or "%s")`, KindSweep, KindRun)
+		return r, fmt.Errorf(`job kind is required ("%s", "%s", or "%s")`, KindSweep, KindRun, KindCampaign)
 	default:
-		return r, fmt.Errorf("unknown job kind %q (want %q or %q)", r.Kind, KindSweep, KindRun)
+		return r, fmt.Errorf("unknown job kind %q (want %q, %q, or %q)", r.Kind, KindSweep, KindRun, KindCampaign)
+	}
+	if r.Dies != 0 || len(r.Voltages) != 0 || len(r.Schemes) != 0 || r.PassThreshold != 0 {
+		return r, fmt.Errorf(`"dies"/"voltages"/"schemes"/"pass_threshold" are campaign fields`)
 	}
 	if r.Voltage == 0 {
 		r.Voltage = 0.625
@@ -135,16 +174,61 @@ func (r JobRequest) normalized(defaultShards, maxProcs int) (JobRequest, error) 
 	return r, nil
 }
 
+// normalizedCampaign is the campaign arm of normalized:
+// campaign.Config.Normalized does the defaulting and validation, and its
+// canonical values (sorted grid, explicit defaults) are copied back so
+// identical campaigns written differently share one key. Campaign defaults
+// deliberately differ from run/sweep where the statistics say they should —
+// 2000 requests per CU, not 4000: a campaign buys power from die count, not
+// trace length.
+func (r JobRequest) normalizedCampaign(defaultShards, maxProcs int) (JobRequest, error) {
+	if r.Workload != "" || r.Scheme != "" {
+		return r, fmt.Errorf(`"workload"/"scheme" are run fields; a campaign takes "workloads" and "schemes"`)
+	}
+	if r.Voltage != 0 {
+		return r, fmt.Errorf(`"voltage" is a run/sweep field; a campaign takes the "voltages" grid`)
+	}
+	if r.EpochCycles != 0 {
+		return r, fmt.Errorf(`"epoch_cycles" is an observe field; campaigns stream progress, not epochs`)
+	}
+	if r.Shards == 0 {
+		r.Shards = defaultShards
+	}
+	if r.Parallelism == 0 {
+		r.Parallelism = -1
+	}
+	if err := experiments.ValidateFlags(max(r.RequestsPerCU, 1), r.Parallelism, r.Shards, maxProcs); err != nil {
+		return r, err
+	}
+	cc, err := r.campaignConfig().Normalized()
+	if err != nil {
+		return r, err
+	}
+	r.Workloads, r.Schemes, r.Voltages = cc.Workloads, cc.Schemes, cc.Voltages
+	r.Seed = cc.Seed
+	r.RequestsPerCU = cc.RequestsPerCU
+	r.WarmupKernels = cc.WarmupKernels
+	r.PassThreshold = cc.PassThreshold
+	return r, nil
+}
+
 // key is the job's content address: the simcache SHA-256 digest of its
 // result-determining inputs. Shards and Parallelism are deliberately
 // excluded — results are bit-identical at every value of either (pinned by
-// the shard/parallelism invariance tests in internal/experiments), so jobs
-// differing only in execution knobs coalesce into one simulation.
+// the shard/parallelism invariance tests in internal/experiments and the
+// campaign parallelism-invariance test), so jobs differing only in
+// execution knobs coalesce into one simulation. v2 added the campaign
+// fields (they hash as empty for run/sweep jobs).
 func (r JobRequest) key() string {
+	volts := make([]string, len(r.Voltages))
+	for i, v := range r.Voltages {
+		volts[i] = fmt.Sprintf("%.17g", v)
+	}
 	return simcache.Key(fmt.Sprintf(
-		"simserver-job/v1\nkind=%s\nvoltage=%.17g\nrequests=%d\nseed=%d\nwarmup=%d\nworkloads=%s\nworkload=%s\nscheme=%s",
+		"simserver-job/v2\nkind=%s\nvoltage=%.17g\nrequests=%d\nseed=%d\nwarmup=%d\nworkloads=%s\nworkload=%s\nscheme=%s\ndies=%d\nvoltages=%s\nschemes=%s\nthreshold=%.17g",
 		r.Kind, r.Voltage, r.RequestsPerCU, r.Seed, r.WarmupKernels,
-		strings.Join(r.Workloads, ","), r.Workload, r.Scheme))
+		strings.Join(r.Workloads, ","), r.Workload, r.Scheme,
+		r.Dies, strings.Join(volts, ","), strings.Join(r.Schemes, ","), r.PassThreshold))
 }
 
 // config translates the normalized request into the experiments.Config its
@@ -184,6 +268,8 @@ type JobResult struct {
 	Rows []experiments.Row `json:"rows,omitempty"`
 	// Run carries a run job's result.
 	Run *RunResult `json:"run,omitempty"`
+	// Campaign carries a campaign job's aggregated result.
+	Campaign *campaign.Result `json:"campaign,omitempty"`
 	// Cached reports that a run job was served from the content-addressed
 	// result cache without simulating (sweeps cache per-task; their flag
 	// stays false even when every task hit).

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"killi/internal/campaign"
 	"killi/internal/experiments"
 	"killi/internal/gpu"
 	"killi/internal/obs"
@@ -57,12 +58,18 @@ type Config struct {
 type call struct {
 	req      JobRequest
 	key      string
-	observer obs.Observer    // non-nil: an observe job (never coalesced)
-	subCtx   context.Context // observe only: the subscriber's context
+	observer obs.Observer          // non-nil: an observe job (never coalesced)
+	progress func(done, total int) // non-nil: a streamed campaign (never coalesced)
+	subCtx   context.Context       // observe/streamed only: the subscriber's context
 	done     chan struct{}
 	res      *JobResult
 	err      error
 }
+
+// streamed reports whether this call has a live subscriber: such calls are
+// never coalesced (each subscriber needs its own stream), never retained,
+// and are cancelled when their subscriber vanishes.
+func (c *call) streamed() bool { return c.observer != nil || c.progress != nil }
 
 // Server is the resident job engine. Construct with New, submit with
 // Submit (or the HTTP Handler), stop with Close.
@@ -205,11 +212,16 @@ func (s *Server) worker() {
 		s.running.Add(1)
 		c.res, c.err = s.execute(s.runCtx, c)
 		s.running.Add(-1)
-		if c.err == nil && c.observer == nil && s.retain != nil {
+		if c.err == nil && !c.streamed() && s.retain != nil {
 			s.retain.record(c.res)
 		}
 		s.mu.Lock()
-		delete(s.inflight, c.key)
+		// Guarded delete: a streamed job never registers as leader, so an
+		// unconditional delete could evict a still-running plain leader that
+		// shares its key.
+		if s.inflight[c.key] == c {
+			delete(s.inflight, c.key)
+		}
 		s.mu.Unlock()
 		close(c.done)
 	}
@@ -222,25 +234,41 @@ func (s *Server) execute(ctx context.Context, c *call) (*JobResult, error) {
 	req := c.req
 	cfg := req.config(s.cfg.CacheDir)
 	out := &JobResult{Kind: req.Kind, Key: c.key}
+	// A vanished subscriber cancels its own job (but never the server's
+	// other work): merge the subscriber context into the lifecycle one.
+	runCtx := ctx
+	if c.subCtx != nil {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(c.subCtx, cancel)
+		defer stop()
+	}
 	switch {
 	case c.observer != nil:
 		newScheme, err := experiments.SchemeFactoryByName(req.Scheme)
 		if err != nil {
 			return nil, err
 		}
-		// A vanished subscriber cancels its own run (but never the
-		// server's other work): merge the subscriber context into the
-		// lifecycle one.
-		runCtx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		stop := context.AfterFunc(c.subCtx, cancel)
-		defer stop()
 		// Observed runs bypass the cache: their value is the stream.
 		res, err := experiments.RunOneObserved(runCtx, cfg, req.Workload, newScheme, req.Voltage, c.observer, req.EpochCycles)
 		if err != nil {
 			return nil, err
 		}
 		out.Run = runResult(res)
+	case req.Kind == KindCampaign:
+		ccfg := req.campaignConfig()
+		ccfg.Progress = c.progress
+		if ccfg.Progress == nil {
+			if m := s.cfg.Metrics; m != nil {
+				ccfg.Progress = m.TaskDone
+			}
+		}
+		res, err := campaign.Run(runCtx, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Campaign = res
 	case req.Kind == KindSweep:
 		if m := s.cfg.Metrics; m != nil {
 			cfg.Progress = m.TaskDone
@@ -344,6 +372,32 @@ func (s *Server) SubmitObserved(ctx context.Context, req JobRequest, o obs.Obser
 	return s.wait(ctx, c)
 }
 
+// SubmitCampaignObserved is Submit for a campaign job with a live progress
+// subscriber: progress receives (diesDone, totalDies) in die order while the
+// campaign executes — the feed behind killi-simd's GET /v1/campaign SSE
+// stream. Like observe streams, subscribed campaigns share the queue,
+// budget, and backpressure but are never coalesced or retained, and
+// cancelling ctx cancels the running campaign at the next kernel boundary.
+// Plain (unsubscribed) campaigns go through Submit like any other job and
+// get coalescing, retention, and metrics-based progress for free.
+func (s *Server) SubmitCampaignObserved(ctx context.Context, req JobRequest, progress func(done, total int)) (*JobResult, error) {
+	if req.Kind != KindCampaign {
+		return nil, &ValidationError{Err: fmt.Errorf("campaign streams are campaign jobs; got kind %q", req.Kind)}
+	}
+	if progress == nil {
+		return nil, &ValidationError{Err: fmt.Errorf("campaign stream needs a progress callback; use Submit for a plain campaign")}
+	}
+	norm, err := req.normalized(s.cfg.Shards, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, &ValidationError{Err: err}
+	}
+	c := &call{req: norm, key: norm.key(), progress: progress, subCtx: ctx, done: make(chan struct{})}
+	if _, _, err := s.admit(c); err != nil {
+		return nil, err
+	}
+	return s.wait(ctx, c)
+}
+
 // admit coalesces c onto an identical in-flight call or enqueues it,
 // returning the call to wait on and whether it was coalesced.
 func (s *Server) admit(c *call) (*call, bool, error) {
@@ -352,7 +406,7 @@ func (s *Server) admit(c *call) (*call, bool, error) {
 		s.mu.Unlock()
 		return nil, false, ErrClosed
 	}
-	if c.observer == nil {
+	if !c.streamed() {
 		if leader, ok := s.inflight[c.key]; ok {
 			s.mu.Unlock()
 			s.coalesced.Add(1)
@@ -361,9 +415,9 @@ func (s *Server) admit(c *call) (*call, bool, error) {
 	}
 	select {
 	case s.jobs <- c:
-		// Observe jobs are keyed but never joined (each subscriber needs
+		// Streamed jobs are keyed but never joined (each subscriber needs
 		// its own event stream), so only plain jobs register as leaders.
-		if c.observer == nil {
+		if !c.streamed() {
 			s.inflight[c.key] = c
 		}
 		s.queued.Add(1)
