@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries soak e2e fleet
+.PHONY: tier1 vet build test shape shape-full bench bench-enforce doccheck timeseries soak e2e fleet faultclasses
 
 tier1: vet build test shape doccheck
 
@@ -67,6 +67,20 @@ fleet:
 		-requests 500 -format csv -o campaign_256.csv
 	$(GO) run ./cmd/killi-fleet -dies 256 -schemes killi-1:64,msecc \
 		-requests 500 -format table
+
+# DFH misclassification under non-persistent fault classes: the four
+# measured tables in EXPERIMENTS.md § Non-persistent faults (persistent
+# control, intermittent mix with and without scrubbing, aggressive
+# intermittent+aging+transient mix), each against the ground-truth oracle.
+faultclasses:
+	$(GO) run ./cmd/killi-sim -misclass -workloads xsbench,fft,nekbone \
+		-requests 4000 -warmup 2 -classes persistent
+	$(GO) run ./cmd/killi-sim -misclass -workloads xsbench,fft,nekbone \
+		-requests 4000 -warmup 2 -classes "mixed:i=0.5@0.3"
+	$(GO) run ./cmd/killi-sim -misclass -workloads xsbench,fft,nekbone \
+		-requests 4000 -warmup 2 -classes "mixed:i=0.5@0.3" -scrub-kernels 1
+	$(GO) run ./cmd/killi-sim -misclass -workloads xsbench,fft,nekbone \
+		-requests 4000 -warmup 2 -classes "mixed:i=0.3@0.5,a=0.1@0.05,t=2e-08"
 
 # DFH training-dynamics time series for one memory-bound and one
 # compute-bound workload (the EXPERIMENTS.md "Training dynamics" data; CI

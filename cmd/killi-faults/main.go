@@ -5,6 +5,11 @@
 //	-fig 2: percentage of 64 B lines with 0 / 1 / ≥2 faults vs voltage
 //	        (Figure 2), both analytic and sampled from a fault map
 //
+// -classes attaches a fault-class spec (faultmodel.ClassSyntax) to the
+// figure-2 map and appends a class-breakdown table: how many sampled faults
+// the deterministic classing hash labels persistent, intermittent, and
+// aging, against the spec's expected fractions.
+//
 // Output is whitespace-aligned text, one series per column.
 package main
 
@@ -24,8 +29,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fault map seed (figure 2)")
 	lines := flag.Int("lines", 32768, "lines sampled for the empirical figure 2 columns")
 	plot := flag.Bool("plot", false, "render the figure as an ASCII chart")
+	classes := flag.String("classes", "persistent", "fault-class spec for the figure-2 class breakdown: "+faultmodel.ClassSyntax())
 	flag.Parse()
 
+	spec, err := faultmodel.ParseClassSpec(*classes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killi-faults: -classes: %v\n", err)
+		os.Exit(2)
+	}
 	m := faultmodel.Default()
 	switch *fig {
 	case 1:
@@ -39,7 +50,7 @@ func main() {
 			plotFig2(m)
 			return
 		}
-		fig2(m, *seed, *lines)
+		fig2(m, *seed, *lines, spec)
 	default:
 		fmt.Fprintf(os.Stderr, "killi-faults: unknown figure %d\n", *fig)
 		os.Exit(2)
@@ -93,7 +104,7 @@ func plotFig2(m faultmodel.Model) {
 		}, asciiplot.Options{Width: 68, Height: 18, YMin: 0, YMax: 100}))
 }
 
-func fig2(m faultmodel.Model, seed uint64, lines int) {
+func fig2(m faultmodel.Model, seed uint64, lines int, spec faultmodel.ClassSpec) {
 	fmt.Println("# Figure 2: % of 64B lines with 0 / 1 / >=2 faults (1 GHz)")
 	fmt.Printf("%-8s %-10s %-10s %-10s %-12s %-12s %-12s\n",
 		"V/VDD", "P0", "P1", "P2+", "emp0", "emp1", "emp2+")
@@ -105,5 +116,29 @@ func fig2(m faultmodel.Model, seed uint64, lines int) {
 		fmt.Printf("%-8.3f %-10.4f %-10.4f %-10.4f %-12.4f %-12.4f %-12.4f\n",
 			v, d.P0*100, d.P1*100, d.P2Plus*100,
 			float64(zero)/n*100, float64(one)/n*100, float64(two)/n*100)
+	}
+	if !spec.IsZero() {
+		classBreakdown(fm, seed, spec)
+	}
+}
+
+// classBreakdown reports how the deterministic classing hash labels the
+// sampled faults under the given spec, next to the fractions the spec asks
+// for — a direct check that the pure-hash selection hits its targets.
+func classBreakdown(fm *faultmodel.Map, seed uint64, spec faultmodel.ClassSpec) {
+	counts := faultmodel.ClassCounts(fm, faultmodel.ClassSeed(seed), spec)
+	total := counts[faultmodel.Persistent] + counts[faultmodel.Intermittent] + counts[faultmodel.Aging]
+	fmt.Printf("\n# Fault-class breakdown for %q (%d sampled faults)\n", spec.String(), total)
+	fmt.Printf("%-14s %-10s %-10s %-10s\n", "class", "faults", "measured", "spec")
+	want := [3]float64{1 - spec.IntermittentFrac - spec.AgingFrac, spec.IntermittentFrac, spec.AgingFrac}
+	for _, c := range []faultmodel.FaultClass{faultmodel.Persistent, faultmodel.Intermittent, faultmodel.Aging} {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(counts[c]) / float64(total)
+		}
+		fmt.Printf("%-14s %-10d %-10.4f %-10.4f\n", c, counts[c], frac, want[c])
+	}
+	if spec.TransientRate > 0 {
+		fmt.Printf("transient: strike process at %g flips/line/cycle (events, not sampled cells)\n", spec.TransientRate)
 	}
 }

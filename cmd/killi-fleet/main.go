@@ -12,8 +12,11 @@
 //
 // -voltages accepts either a comma-separated grid ("0.575,0.625,0.675") or
 // a lo:hi:step range; -format selects table (human), csv, or jsonl (both
-// machine-readable, floats at full precision). A fixed -seed reproduces the
-// output bit-for-bit at any -parallel and -shards value. SIGINT or SIGTERM
+// machine-readable, floats at full precision). -classes adds a fault-class
+// axis — semicolon-separated faultmodel.ClassSyntax specs (semicolons
+// because mixed specs contain commas), one campaign pass per spec, reported
+// in the "classes" output column. A fixed -seed reproduces the output
+// bit-for-bit at any -parallel and -shards value. SIGINT or SIGTERM
 // cancels in-flight simulations at their next kernel boundary and exits 130.
 package main
 
@@ -32,6 +35,7 @@ import (
 
 	"killi/internal/campaign"
 	"killi/internal/experiments"
+	"killi/internal/faultmodel"
 )
 
 func main() {
@@ -43,6 +47,7 @@ func run() int {
 	workloads := flag.String("workloads", "xsbench", "comma-separated workloads to campaign over")
 	schemes := flag.String("schemes", "killi-1:64,msecc", "comma-separated protection schemes: "+experiments.SchemeSyntax())
 	voltages := flag.String("voltages", "", "voltage grid: comma-separated points or lo:hi:step (default the paper's 0.575..0.700 in 25 mV steps)")
+	classes := flag.String("classes", "persistent", "semicolon-separated fault-class axis, each spec: "+faultmodel.ClassSyntax())
 	seed := flag.Uint64("seed", 1, "campaign seed; output is bit-reproducible for a fixed seed at any -parallel/-shards")
 	requests := flag.Int("requests", 2000, "trace requests per CU")
 	warmup := flag.Int("warmup", 0, "warm-up kernels before each measured run")
@@ -67,6 +72,7 @@ func run() int {
 	cfg := campaign.Config{
 		Workloads:     experiments.SplitList(*workloads),
 		Schemes:       experiments.SplitList(*schemes),
+		FaultClasses:  splitClasses(*classes),
 		Voltages:      grid,
 		Dies:          *dies,
 		Seed:          *seed,
@@ -123,6 +129,19 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// splitClasses splits the -classes axis on semicolons (mixed specs contain
+// commas, so the usual comma list would split them apart). Validation is
+// campaign.Config.Normalized's job.
+func splitClasses(s string) []string {
+	var specs []string
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			specs = append(specs, part)
+		}
+	}
+	return specs
 }
 
 // parseVoltages parses the -voltages grammar: empty (the default grid), a

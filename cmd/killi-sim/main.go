@@ -29,6 +29,16 @@
 // training curve, and exits. -epoch sets the sampling epoch in cycles.
 // -metrics-addr serves live sweep progress over HTTP (expvar JSON at
 // /metrics) for watching long sweeps.
+//
+// Fault classes: -classes runs the sweep (or -misclass measurement) under a
+// non-persistent fault population (intermittent / aging / transient strike
+// mixes; see the grammar in the flag help). -misclass switches killi-sim
+// into the DFH misclassification measurement: for each workload in
+// -workloads (default xsbench) it runs one uncached simulation of
+// -obs-scheme at -voltage, compares the trained DFH state against the
+// fault-map ground-truth oracle, and prints the false-disable / false-trust
+// / SDC table EXPERIMENTS.md embeds. -scrub-kernels re-tests disabled lines
+// every N kernels during the measurement (0 = never).
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"killi/internal/experiments"
+	"killi/internal/faultmodel"
 	"killi/internal/gpu"
 	"killi/internal/obs"
 	"killi/internal/simserver"
@@ -72,6 +83,9 @@ func run() int {
 	obsWorkload := flag.String("obs-workload", "xsbench", "workload for the observed run")
 	obsScheme := flag.String("obs-scheme", "killi-1:64", "protection scheme for the observed run: "+experiments.SchemeSyntax())
 	metricsAddr := flag.String("metrics-addr", "", "serve live sweep progress over HTTP on this address (e.g. localhost:8060; expvar JSON at /metrics)")
+	classes := flag.String("classes", "persistent", "fault-class population for the sweep or -misclass run: "+faultmodel.ClassSyntax())
+	misclass := flag.Bool("misclass", false, "measure DFH misclassification against the ground-truth oracle (workloads from -workloads, scheme from -obs-scheme) and exit")
+	scrubKernels := flag.Int("scrub-kernels", 0, "with -misclass: re-test disabled lines every N kernels (0 = never scrub)")
 	flag.Parse()
 
 	// Reject bad flag combinations before any work starts.
@@ -85,11 +99,33 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "killi-sim: unknown figure %d (want 4, 5, or 45)\n", *fig)
 		return 2
 	}
+	if _, err := faultmodel.ParseClassSpec(*classes); err != nil {
+		fmt.Fprintf(os.Stderr, "killi-sim: -classes: %v\n", err)
+		return 2
+	}
+	if *scrubKernels != 0 && !*misclass {
+		fmt.Fprintln(os.Stderr, "killi-sim: -scrub-kernels applies only to -misclass runs")
+		return 2
+	}
 
 	// ctx ends on the first SIGINT/SIGTERM; a second signal kills the
 	// process the default way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *misclass {
+		err := misclassRun(ctx, *workloads, *obsScheme, *classes,
+			*voltage, *requests, *seed, *warmup, *scrubKernels, *shards)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "killi-sim: interrupted")
+			return 130
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "killi-sim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *timeseries != "" || *traceEvents != "" {
 		err := observedRun(ctx, *timeseries, *traceEvents, *obsWorkload, *obsScheme,
@@ -169,6 +205,7 @@ func run() int {
 		Shards:        *shards,
 		Parallelism:   *parallel,
 		Workloads:     experiments.SplitList(*workloads),
+		FaultClasses:  []string{*classes},
 	})
 	if ctx.Err() != nil {
 		// Interrupted: force the drain with an already-expired context so
@@ -201,6 +238,35 @@ func run() int {
 		printFig5(res.Rows, *voltage)
 	}
 	return 0
+}
+
+// misclassRun runs the DFH misclassification measurement for each named
+// workload (default xsbench) against the given scheme and prints the
+// ground-truth comparison table. Runs are never cached: the measurement
+// needs live counters.
+func misclassRun(ctx context.Context, workloadsCSV, schemeName, classes string,
+	voltage float64, requests int, seed uint64, warmup, scrub, shards int) error {
+	names := experiments.SplitList(workloadsCSV)
+	if len(names) == 0 {
+		names = []string{"xsbench"}
+	}
+	cfg := experiments.Config{
+		RequestsPerCU: requests,
+		Seed:          seed,
+		WarmupKernels: warmup,
+		Shards:        shards,
+		FaultClasses:  classes,
+		ScrubKernels:  scrub,
+	}
+	var rows []experiments.MisclassRow
+	for _, w := range names {
+		row, err := experiments.RunMisclass(ctx, cfg, w, schemeName, voltage)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	return experiments.WriteMisclassTable(os.Stdout, rows)
 }
 
 // observedRun simulates one workload × scheme pair with a Collector

@@ -1,8 +1,9 @@
 // Package campaign runs fleet-scale Monte Carlo fault-map campaigns: N
-// simulated dies — each a distinct persistent fault population sampled from
-// a per-die seed stream — crossed with a voltage grid and a protection
-// scheme list, executed through the sharded simulation engine and
-// aggregated streamingly.
+// simulated dies — each a distinct fault population sampled from a per-die
+// seed stream — crossed with a voltage grid, a protection scheme list, and
+// a fault-class axis (persistent or mixed non-persistent populations, see
+// faultmodel.ClassSyntax), executed through the sharded simulation engine
+// and aggregated streamingly.
 //
 // The paper evaluates each scheme against a single sampled fault map per
 // voltage; a fleet deployment decision needs the distribution across device
@@ -68,6 +69,13 @@ type Config struct {
 	// Schemes lists the protection schemes by SchemeSyntax name (default
 	// {"killi-1:64", "msecc"}).
 	Schemes []string
+	// FaultClasses lists fault-class specs (faultmodel.ClassSyntax) as a
+	// campaign axis: every (workload, scheme, voltage) cell is run once per
+	// class mix. Default {"persistent"} — the paper's model, and the value
+	// under which results are bit-identical to a campaign predating the
+	// axis. Each die's fault-free nominal baseline always runs the zero
+	// spec regardless of this list.
+	FaultClasses []string
 	// Voltages is the LV grid, any order; Run sorts it ascending. Default
 	// DefaultVoltages. Every die's fault map is sampled at the grid minimum
 	// (the map's reference voltage) and resolved per grid point.
@@ -154,6 +162,23 @@ func (c Config) Normalized() (Config, error) {
 			return c, err
 		}
 	}
+	if len(c.FaultClasses) == 0 {
+		c.FaultClasses = []string{"persistent"}
+	}
+	canon := make([]string, len(c.FaultClasses))
+	seenClass := make(map[string]bool, len(c.FaultClasses))
+	for i, s := range c.FaultClasses {
+		spec, err := faultmodel.ParseClassSpec(s)
+		if err != nil {
+			return c, err
+		}
+		canon[i] = spec.String()
+		if seenClass[canon[i]] {
+			return c, fmt.Errorf("campaign: duplicate fault-class spec %q", canon[i])
+		}
+		seenClass[canon[i]] = true
+	}
+	c.FaultClasses = canon
 	if len(c.Voltages) == 0 {
 		c.Voltages = DefaultVoltages()
 	}
@@ -211,21 +236,30 @@ func (c Config) baseGPU() gpu.Config {
 }
 
 // dieRecord is one die's complete raw outcome: the fault-free baseline per
-// workload plus one sample per (workload, scheme, voltage) cell. Records
-// are small (a few scalars per cell), which is what keeps the reorder
-// window cheap.
+// workload plus one sample per (workload, scheme, class, voltage) cell.
+// Records are small (a few scalars per cell), which is what keeps the
+// reorder window cheap.
 type dieRecord struct {
 	die    int
 	base   []uint64 // per workload: fault-free nominal-voltage cycles
 	cycles []uint64 // per cell, cellIndex-major
 	mpki   []float64
 	dis    []int32
+	sdc    []uint64 // silent corruptions in the measured kernel
+	fdis   []int32  // DFH false disables vs the ground-truth oracle
+	ftru   []int32  // DFH false trusts (0 for schemes without DFH codes)
 }
 
-// cellIndex flattens (workload, scheme, voltage) with voltage fastest, the
-// order every output walks.
-func cellIndex(cfg *Config, wi, si, vi int) int {
-	return (wi*len(cfg.Schemes)+si)*len(cfg.Voltages) + vi
+// cellIndex flattens (workload, scheme, class, voltage) with voltage
+// fastest, the order every output walks.
+func cellIndex(cfg *Config, wi, si, ki, vi int) int {
+	return ((wi*len(cfg.Schemes)+si)*len(cfg.FaultClasses)+ki)*len(cfg.Voltages) + vi
+}
+
+// vminIndex flattens (workload, scheme, class): one Vmin distribution per
+// class mix, since a non-persistent population shifts the deployable floor.
+func vminIndex(cfg *Config, wi, si, ki int) int {
+	return (wi*len(cfg.Schemes)+si)*len(cfg.FaultClasses) + ki
 }
 
 // Run executes the campaign. Dies simulate concurrently up to
@@ -270,8 +304,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		dieFaults = buildDieFaults
 	}
 
+	classSpecs := make([]faultmodel.ClassSpec, len(cfg.FaultClasses))
+	for i, s := range cfg.FaultClasses {
+		if classSpecs[i], err = faultmodel.ParseClassSpec(s); err != nil {
+			return nil, err // unreachable: Normalized canonicalized the list
+		}
+	}
+
 	refV := cfg.Voltages[0]
-	cells := len(cfg.Workloads) * len(cfg.Schemes) * len(cfg.Voltages)
+	cells := len(cfg.Workloads) * len(cfg.Schemes) * len(cfg.FaultClasses) * len(cfg.Voltages)
 	runDie := func(die int) (*dieRecord, error) {
 		rec := &dieRecord{
 			die:    die,
@@ -279,6 +320,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			cycles: make([]uint64, cells),
 			mpki:   make([]float64, cells),
 			dis:    make([]int32, cells),
+			sdc:    make([]uint64, cells),
+			fdis:   make([]int32, cells),
+			ftru:   make([]int32, cells),
 		}
 		g := base
 		g.FaultSeed = faultmodel.DieSeed(cfg.Seed, die)
@@ -294,24 +338,35 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			// The die's own fault-free nominal baseline: replacement and
 			// soft-error RNG streams derive from the die seed, so baselines
 			// differ (slightly) per die and each die normalizes against
-			// itself, as a real binned part would.
+			// itself, as a real binned part would. The baseline always runs
+			// the zero class spec: strikes and blinking faults are LV
+			// phenomena being measured, not part of the yardstick.
 			g.Voltage = 1.0
+			g.Classes = faultmodel.ClassSpec{}
 			res, err := sim(ctx, g, noneFactory, faultsNominal, traces[wi], cfg.Shards)
 			if err != nil {
 				return nil, err
 			}
 			rec.base[wi] = res.Cycles
 			for si := range cfg.Schemes {
-				for vi, v := range cfg.Voltages {
-					g.Voltage = v
-					res, err := sim(ctx, g, factories[si], faultsAt[vi], traces[wi], cfg.Shards)
-					if err != nil {
-						return nil, err
+				for ki := range classSpecs {
+					g.Classes = classSpecs[ki]
+					for vi, v := range cfg.Voltages {
+						g.Voltage = v
+						res, err := sim(ctx, g, factories[si], faultsAt[vi], traces[wi], cfg.Shards)
+						if err != nil {
+							return nil, err
+						}
+						ci := cellIndex(&cfg, wi, si, ki, vi)
+						rec.cycles[ci] = res.Cycles
+						rec.mpki[ci] = res.MPKI()
+						rec.dis[ci] = int32(res.DisabledLines)
+						rec.sdc[ci] = res.SDC
+						if res.HasMisclass {
+							rec.fdis[ci] = int32(res.Misclass.FalseDisable)
+							rec.ftru[ci] = int32(res.Misclass.FalseTrust)
+						}
 					}
-					ci := cellIndex(&cfg, wi, si, vi)
-					rec.cycles[ci] = res.Cycles
-					rec.mpki[ci] = res.MPKI()
-					rec.dis[ci] = int32(res.DisabledLines)
 				}
 			}
 		}
@@ -432,18 +487,22 @@ func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord,
 	return nil
 }
 
-// cellAgg is the streaming state of one (workload, scheme, voltage) cell.
+// cellAgg is the streaming state of one (workload, scheme, class, voltage)
+// cell.
 type cellAgg struct {
 	norm     welford
 	mpki     welford
 	disabled welford
+	sdc      welford
+	fdis     welford
+	ftru     welford
 	q50      *p2
 	q90      *p2
 	q99      *p2
 	pass     int64
 }
 
-// vminAgg is the streaming state of one (workload, scheme) Vmin
+// vminAgg is the streaming state of one (workload, scheme, class) Vmin
 // distribution: counts over the (small, fixed) grid plus a moment
 // accumulator over passing dies. The grid makes the CDF exact — no sketch
 // needed.
@@ -463,8 +522,8 @@ type aggregator struct {
 func newAggregator(cfg *Config) *aggregator {
 	a := &aggregator{
 		cfg:   cfg,
-		cells: make([]cellAgg, len(cfg.Workloads)*len(cfg.Schemes)*len(cfg.Voltages)),
-		vmin:  make([]vminAgg, len(cfg.Workloads)*len(cfg.Schemes)),
+		cells: make([]cellAgg, len(cfg.Workloads)*len(cfg.Schemes)*len(cfg.FaultClasses)*len(cfg.Voltages)),
+		vmin:  make([]vminAgg, len(cfg.Workloads)*len(cfg.Schemes)*len(cfg.FaultClasses)),
 		base:  make([]welford, len(cfg.Workloads)),
 	}
 	for i := range a.cells {
@@ -486,34 +545,39 @@ func (a *aggregator) consume(rec *dieRecord) {
 	for wi := range cfg.Workloads {
 		a.base[wi].add(float64(rec.base[wi]))
 		for si := range cfg.Schemes {
-			// Vmin: the lowest grid voltage from which the die passes at
-			// every higher grid point too (failures are monotone in voltage;
-			// requiring a passing suffix keeps a fluke pass at one low point
-			// from understating Vmin).
-			vminIdx := len(cfg.Voltages)
-			for vi := len(cfg.Voltages) - 1; vi >= 0; vi-- {
-				ci := cellIndex(cfg, wi, si, vi)
-				c := &a.cells[ci]
-				norm := float64(rec.cycles[ci]) / float64(rec.base[wi])
-				c.norm.add(norm)
-				c.mpki.add(rec.mpki[ci])
-				c.disabled.add(float64(rec.dis[ci]))
-				c.q50.add(norm)
-				c.q90.add(norm)
-				c.q99.add(norm)
-				if norm <= cfg.PassThreshold {
-					c.pass++
-					if vminIdx == vi+1 {
-						vminIdx = vi
+			for ki := range cfg.FaultClasses {
+				// Vmin: the lowest grid voltage from which the die passes at
+				// every higher grid point too (failures are monotone in
+				// voltage; requiring a passing suffix keeps a fluke pass at
+				// one low point from understating Vmin).
+				vminIdx := len(cfg.Voltages)
+				for vi := len(cfg.Voltages) - 1; vi >= 0; vi-- {
+					ci := cellIndex(cfg, wi, si, ki, vi)
+					c := &a.cells[ci]
+					norm := float64(rec.cycles[ci]) / float64(rec.base[wi])
+					c.norm.add(norm)
+					c.mpki.add(rec.mpki[ci])
+					c.disabled.add(float64(rec.dis[ci]))
+					c.sdc.add(float64(rec.sdc[ci]))
+					c.fdis.add(float64(rec.fdis[ci]))
+					c.ftru.add(float64(rec.ftru[ci]))
+					c.q50.add(norm)
+					c.q90.add(norm)
+					c.q99.add(norm)
+					if norm <= cfg.PassThreshold {
+						c.pass++
+						if vminIdx == vi+1 {
+							vminIdx = vi
+						}
 					}
 				}
-			}
-			va := &a.vmin[wi*len(cfg.Schemes)+si]
-			if vminIdx < len(cfg.Voltages) {
-				va.counts[vminIdx]++
-				va.mean.add(cfg.Voltages[vminIdx])
-			} else {
-				va.fails++
+				va := &a.vmin[vminIndex(cfg, wi, si, ki)]
+				if vminIdx < len(cfg.Voltages) {
+					va.counts[vminIdx]++
+					va.mean.add(cfg.Voltages[vminIdx])
+				} else {
+					va.fails++
+				}
 			}
 		}
 	}
@@ -529,6 +593,7 @@ func (a *aggregator) finalize() *Result {
 		PassThreshold: cfg.PassThreshold,
 		Workloads:     cfg.Workloads,
 		Schemes:       cfg.Schemes,
+		FaultClasses:  cfg.FaultClasses,
 		Voltages:      cfg.Voltages,
 	}
 	for wi, w := range cfg.Workloads {
@@ -538,44 +603,51 @@ func (a *aggregator) finalize() *Result {
 			CyclesStd:  a.base[wi].std(),
 		})
 		for si, s := range cfg.Schemes {
-			for vi, v := range cfg.Voltages {
-				c := &a.cells[cellIndex(cfg, wi, si, vi)]
-				lo, hi := wilson(c.pass, c.norm.n)
-				res.Cells = append(res.Cells, Cell{
-					Workload:     w,
-					Scheme:       s,
-					Voltage:      v,
-					Dies:         c.norm.n,
-					Yield:        float64(c.pass) / float64(c.norm.n),
-					YieldLo:      lo,
-					YieldHi:      hi,
-					NormMean:     c.norm.mean,
-					NormStd:      c.norm.std(),
-					NormQ50:      c.q50.quantile(),
-					NormQ90:      c.q90.quantile(),
-					NormQ99:      c.q99.quantile(),
-					MPKIMean:     c.mpki.mean,
-					MPKIStd:      c.mpki.std(),
-					DisabledMean: c.disabled.mean,
-				})
+			for ki, cls := range cfg.FaultClasses {
+				for vi, v := range cfg.Voltages {
+					c := &a.cells[cellIndex(cfg, wi, si, ki, vi)]
+					lo, hi := wilson(c.pass, c.norm.n)
+					res.Cells = append(res.Cells, Cell{
+						Workload:         w,
+						Scheme:           s,
+						Classes:          cls,
+						Voltage:          v,
+						Dies:             c.norm.n,
+						Yield:            float64(c.pass) / float64(c.norm.n),
+						YieldLo:          lo,
+						YieldHi:          hi,
+						NormMean:         c.norm.mean,
+						NormStd:          c.norm.std(),
+						NormQ50:          c.q50.quantile(),
+						NormQ90:          c.q90.quantile(),
+						NormQ99:          c.q99.quantile(),
+						MPKIMean:         c.mpki.mean,
+						MPKIStd:          c.mpki.std(),
+						DisabledMean:     c.disabled.mean,
+						SDCMean:          c.sdc.mean,
+						FalseDisableMean: c.fdis.mean,
+						FalseTrustMean:   c.ftru.mean,
+					})
+				}
+				va := &a.vmin[vminIndex(cfg, wi, si, ki)]
+				cdf := VminCDF{
+					Workload: w,
+					Scheme:   s,
+					Classes:  cls,
+					FailFrac: float64(va.fails) / float64(cfg.Dies),
+					MeanVmin: va.mean.mean, // 0 when no die passes anywhere
+				}
+				var cum int64
+				for vi, v := range cfg.Voltages {
+					cum += va.counts[vi]
+					cdf.Points = append(cdf.Points, VminPoint{
+						Voltage: v,
+						Count:   va.counts[vi],
+						CumFrac: float64(cum) / float64(cfg.Dies),
+					})
+				}
+				res.Vmin = append(res.Vmin, cdf)
 			}
-			va := &a.vmin[wi*len(cfg.Schemes)+si]
-			cdf := VminCDF{
-				Workload: w,
-				Scheme:   s,
-				FailFrac: float64(va.fails) / float64(cfg.Dies),
-				MeanVmin: va.mean.mean, // 0 when no die passes anywhere
-			}
-			var cum int64
-			for vi, v := range cfg.Voltages {
-				cum += va.counts[vi]
-				cdf.Points = append(cdf.Points, VminPoint{
-					Voltage: v,
-					Count:   va.counts[vi],
-					CumFrac: float64(cum) / float64(cfg.Dies),
-				})
-			}
-			res.Vmin = append(res.Vmin, cdf)
 		}
 	}
 	return res
@@ -590,13 +662,16 @@ type Baseline struct {
 	CyclesStd  float64 `json:"cycles_std"`
 }
 
-// Cell is the aggregated outcome of one (workload, scheme, voltage) grid
-// point across every die.
+// Cell is the aggregated outcome of one (workload, scheme, class, voltage)
+// grid point across every die.
 type Cell struct {
-	Workload string  `json:"workload"`
-	Scheme   string  `json:"scheme"`
-	Voltage  float64 `json:"voltage"`
-	Dies     int64   `json:"dies"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	// Classes is the canonical fault-class spec the cell ran under
+	// ("persistent" for the paper's model).
+	Classes string  `json:"classes"`
+	Voltage float64 `json:"voltage"`
+	Dies    int64   `json:"dies"`
 	// Yield is the fraction of dies passing the normalized-time criterion
 	// at this point; [YieldLo, YieldHi] is its 95% Wilson interval.
 	Yield   float64 `json:"yield"`
@@ -613,6 +688,14 @@ type Cell struct {
 	MPKIStd  float64 `json:"mpki_std"`
 	// DisabledMean is the mean count of L2 lines the scheme disabled.
 	DisabledMean float64 `json:"disabled_mean"`
+	// SDCMean is the mean silent-data-corruption count of the measured
+	// kernel; nonzero only under non-persistent populations (or schemes
+	// that under-protect). FalseDisableMean and FalseTrustMean are the
+	// mean DFH-vs-ground-truth misclassification counts, zero for schemes
+	// without DFH codes.
+	SDCMean          float64 `json:"sdc_mean"`
+	FalseDisableMean float64 `json:"false_disable_mean"`
+	FalseTrustMean   float64 `json:"false_trust_mean"`
 }
 
 // VminPoint is one grid step of a Vmin CDF.
@@ -625,11 +708,12 @@ type VminPoint struct {
 }
 
 // VminCDF is the per-die minimum-deployable-voltage distribution of one
-// (workload, scheme) pair: Vmin is the lowest grid voltage from which the
-// die passes at every higher grid point too.
+// (workload, scheme, class) triple: Vmin is the lowest grid voltage from
+// which the die passes at every higher grid point too.
 type VminCDF struct {
 	Workload string      `json:"workload"`
 	Scheme   string      `json:"scheme"`
+	Classes  string      `json:"classes"`
 	Points   []VminPoint `json:"points"`
 	// FailFrac is the fraction of dies that fail even at the grid maximum
 	// (their Vmin lies above the grid).
@@ -648,6 +732,7 @@ type Result struct {
 	PassThreshold float64   `json:"pass_threshold"`
 	Workloads     []string  `json:"workloads"`
 	Schemes       []string  `json:"schemes"`
+	FaultClasses  []string  `json:"fault_classes"`
 	Voltages      []float64 `json:"voltages"`
 
 	Baselines []Baseline `json:"baselines"`
@@ -663,7 +748,9 @@ type Result struct {
 
 // YieldAt returns the yield of one (workload, scheme, voltage) cell, or
 // NaN when the cell is not in the result. Voltage matches exactly (grid
-// values round-trip unchanged through the config).
+// values round-trip unchanged through the config). With multiple fault
+// classes in the axis it returns the first matching cell — the first
+// class mix in config order.
 func (r *Result) YieldAt(workloadName, scheme string, voltage float64) float64 {
 	for _, c := range r.Cells {
 		if c.Workload == workloadName && c.Scheme == scheme && c.Voltage == voltage {

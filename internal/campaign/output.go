@@ -38,11 +38,12 @@ func (r *Result) WriteTable(w io.Writer) error {
 		r.Dies, r.Seed, r.RequestsPerCU, r.PassThreshold)
 
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tscheme\tvoltage\tyield\t95% CI\tnorm mean\tstd\tp50\tp90\tp99\tMPKI\tdisabled")
+	fmt.Fprintln(tw, "workload\tscheme\tclasses\tvoltage\tyield\t95% CI\tnorm mean\tstd\tp50\tp90\tp99\tMPKI\tdisabled\tSDC\tfalse-dis\tfalse-trust")
 	for _, c := range r.Cells {
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.4f\t[%.4f, %.4f]\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.2f\t%.1f\n",
-			c.Workload, c.Scheme, c.Voltage, c.Yield, c.YieldLo, c.YieldHi,
-			c.NormMean, c.NormStd, c.NormQ50, c.NormQ90, c.NormQ99, c.MPKIMean, c.DisabledMean)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.4f\t[%.4f, %.4f]\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.2f\t%.1f\t%.2f\t%.1f\t%.1f\n",
+			c.Workload, c.Scheme, c.Classes, c.Voltage, c.Yield, c.YieldLo, c.YieldHi,
+			c.NormMean, c.NormStd, c.NormQ50, c.NormQ90, c.NormQ99, c.MPKIMean, c.DisabledMean,
+			c.SDCMean, c.FalseDisableMean, c.FalseTrustMean)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -50,13 +51,13 @@ func (r *Result) WriteTable(w io.Writer) error {
 
 	fmt.Fprintln(w, "\nVmin CDF (fraction of dies deployable at or below each voltage):")
 	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	header := "workload\tscheme"
+	header := "workload\tscheme\tclasses"
 	for _, v := range r.Voltages {
 		header += fmt.Sprintf("\t<=%.3f", v)
 	}
 	fmt.Fprintln(tw, header+"\tfail\tmean Vmin")
 	for _, cdf := range r.Vmin {
-		row := fmt.Sprintf("%s\t%s", cdf.Workload, cdf.Scheme)
+		row := fmt.Sprintf("%s\t%s\t%s", cdf.Workload, cdf.Scheme, cdf.Classes)
 		for _, p := range cdf.Points {
 			row += fmt.Sprintf("\t%.4f", p.CumFrac)
 		}
@@ -80,27 +81,28 @@ func g17(f float64) string { return fmt.Sprintf("%.17g", f) }
 // bit-identical results — the property the parallelism-invariance test
 // pins.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "type,workload,scheme,voltage,dies,yield,yield_lo,yield_hi,norm_mean,norm_std,norm_q50,norm_q90,norm_q99,mpki_mean,mpki_std,disabled_mean"); err != nil {
+	if _, err := fmt.Fprintln(w, "type,workload,scheme,classes,voltage,dies,yield,yield_lo,yield_hi,norm_mean,norm_std,norm_q50,norm_q90,norm_q99,mpki_mean,mpki_std,disabled_mean,sdc_mean,false_disable_mean,false_trust_mean"); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if _, err := fmt.Fprintf(w, "cell,%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
-			c.Workload, c.Scheme, g17(c.Voltage), c.Dies,
+		if _, err := fmt.Fprintf(w, "cell,%s,%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			c.Workload, c.Scheme, c.Classes, g17(c.Voltage), c.Dies,
 			g17(c.Yield), g17(c.YieldLo), g17(c.YieldHi),
 			g17(c.NormMean), g17(c.NormStd), g17(c.NormQ50), g17(c.NormQ90), g17(c.NormQ99),
-			g17(c.MPKIMean), g17(c.MPKIStd), g17(c.DisabledMean)); err != nil {
+			g17(c.MPKIMean), g17(c.MPKIStd), g17(c.DisabledMean),
+			g17(c.SDCMean), g17(c.FalseDisableMean), g17(c.FalseTrustMean)); err != nil {
 			return err
 		}
 	}
 	for _, cdf := range r.Vmin {
 		for _, p := range cdf.Points {
-			if _, err := fmt.Fprintf(w, "vmin,%s,%s,%s,%d,%s,,,,,,,,,,\n",
-				cdf.Workload, cdf.Scheme, g17(p.Voltage), p.Count, g17(p.CumFrac)); err != nil {
+			if _, err := fmt.Fprintf(w, "vmin,%s,%s,%s,%s,%d,%s,,,,,,,,,,,,,\n",
+				cdf.Workload, cdf.Scheme, cdf.Classes, g17(p.Voltage), p.Count, g17(p.CumFrac)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "vmin_summary,%s,%s,,%d,%s,%s,,,,,,,,,\n",
-			cdf.Workload, cdf.Scheme, r.Dies, g17(cdf.FailFrac), g17(cdf.MeanVmin)); err != nil {
+		if _, err := fmt.Fprintf(w, "vmin_summary,%s,%s,%s,,%d,%s,%s,,,,,,,,,,,,\n",
+			cdf.Workload, cdf.Scheme, cdf.Classes, r.Dies, g17(cdf.FailFrac), g17(cdf.MeanVmin)); err != nil {
 			return err
 		}
 	}

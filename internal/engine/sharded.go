@@ -332,15 +332,24 @@ type Sharded struct {
 
 	stats RunStats
 
-	// pacer is an optional hook fired once per boundary (multiples of
-	// pacerEvery) strictly between rounds: every domain is parked when it
-	// runs, so it may read all simulator state. It fires for each boundary
-	// B <= the next event cycle, which reproduces the semantics of a
-	// daemon ticker event on the serial engine: a boundary with no
-	// remaining events after it never fires.
-	pacer      func(boundary uint64)
-	pacerEvery uint64
-	pacerNext  uint64
+	// tickers are optional hooks fired once per boundary (multiples of
+	// each slot's period) strictly between rounds: every domain is parked
+	// when one runs, so it may read — and, alone among extension points,
+	// mutate — simulator state. A ticker fires for each boundary B <= the
+	// next event cycle, which reproduces the semantics of a daemon ticker
+	// event on the serial engine: a boundary with no remaining events
+	// after it never fires. A boundary shared by several slots fires them
+	// in ascending slot order. Slot 0 is the legacy pacer (SetPacer, the
+	// observability sampler); gpu's fault-class strike ticker rides in
+	// slot 1.
+	tickers []ticker
+}
+
+// ticker is one registered boundary hook (see SetTicker).
+type ticker struct {
+	fn    func(boundary uint64)
+	every uint64
+	next  uint64
 }
 
 // NewSharded returns an engine over numDomains domains, initially with one
@@ -540,17 +549,62 @@ func (s *Sharded) buildLookahead() {
 }
 
 // SetPacer installs (or, with fn == nil or every == 0, removes) the
-// boundary hook, armed at the first multiple of every strictly after the
-// current cycle. The pacer persists across Runs.
+// boundary hook in ticker slot 0, armed at the first multiple of every
+// strictly after the current cycle. The pacer persists across Runs.
 func (s *Sharded) SetPacer(every uint64, fn func(boundary uint64)) {
-	if fn == nil || every == 0 {
-		s.pacer = nil
-		s.pacerEvery = 0
-		return
+	s.SetTicker(0, every, fn)
+}
+
+// SetTicker installs (or, with fn == nil or every == 0, removes) a
+// boundary hook in the given slot, armed at the first multiple of every
+// strictly after the current cycle. Slots are independent, so several
+// subsystems (the observability sampler, the fault-class strike injector)
+// can tick at different periods without clobbering each other; a boundary
+// due in several slots fires them in ascending slot order. Tickers persist
+// across Runs and must only be (un)installed between Runs.
+func (s *Sharded) SetTicker(slot int, every uint64, fn func(boundary uint64)) {
+	if slot < 0 {
+		panic("engine: negative ticker slot")
 	}
-	s.pacer = fn
-	s.pacerEvery = every
-	s.pacerNext = s.now - s.now%every + every
+	for slot >= len(s.tickers) {
+		s.tickers = append(s.tickers, ticker{})
+	}
+	if fn == nil || every == 0 {
+		s.tickers[slot] = ticker{}
+	} else {
+		s.tickers[slot] = ticker{fn: fn, every: every, next: s.now - s.now%every + every}
+	}
+	// Trim dead tail slots so an armed-ticker check is len(tickers) > 0.
+	for n := len(s.tickers); n > 0 && s.tickers[n-1].fn == nil; n = len(s.tickers) {
+		s.tickers = s.tickers[:n-1]
+	}
+}
+
+// tickNext returns the earliest pending ticker boundary and its slot (a
+// shared boundary resolves to the lowest slot); noEvent and -1 when no
+// ticker is armed.
+func (s *Sharded) tickNext() (uint64, int) {
+	b, slot := uint64(noEvent), -1
+	for i := range s.tickers {
+		if t := &s.tickers[i]; t.fn != nil && t.next < b {
+			b, slot = t.next, i
+		}
+	}
+	return b, slot
+}
+
+// fireTickers fires every pending ticker boundary <= limit in (boundary,
+// slot) order, advancing each slot past its fired boundary.
+func (s *Sharded) fireTickers(limit uint64) {
+	for {
+		b, slot := s.tickNext()
+		if slot < 0 || b > limit {
+			return
+		}
+		t := &s.tickers[slot]
+		t.next += t.every
+		t.fn(b)
+	}
 }
 
 // Run fires events until every queue drains and returns the final cycle.
@@ -566,13 +620,10 @@ func (s *Sharded) runSerial() uint64 {
 	sh := &s.shards[0]
 	var events, stamps, last uint64
 	last = noEvent
+	hasTickers := len(s.tickers) > 0
 	for len(sh.heap) > 0 {
-		if s.pacer != nil {
-			for t := sh.heap[0].when; s.pacerNext <= t; {
-				b := s.pacerNext
-				s.pacerNext += s.pacerEvery
-				s.pacer(b)
-			}
+		if hasTickers {
+			s.fireTickers(sh.heap[0].when)
 		}
 		ev := sh.pop()
 		if ev.when != last {
@@ -700,25 +751,26 @@ func (s *Sharded) worker(w int, bar *barrier) {
 		if t == noEvent {
 			return
 		}
-		if s.pacer != nil && s.pacerNext <= t {
-			// Every worker saw the same t and pacerNext, so all take this
-			// branch together; worker 0 fires the hook while the rest hold
-			// at the second barrier with their domains parked.
-			bar.wait(nil)
-			if w == 0 {
-				for s.pacerNext <= t {
-					b := s.pacerNext
-					s.pacerNext += s.pacerEvery
-					s.pacer(b)
+		if len(s.tickers) > 0 {
+			if b, _ := s.tickNext(); b <= t {
+				// Every worker saw the same t and ticker state (written only
+				// by worker 0 between barriers), so all take this branch
+				// together; worker 0 fires the hooks while the rest hold at
+				// the second barrier with their domains parked.
+				bar.wait(nil)
+				if w == 0 {
+					s.fireTickers(t)
 				}
+				bar.wait(nil)
 			}
-			bar.wait(nil)
 		}
 		bound := s.bounds[w].v
-		if s.pacer != nil && s.pacerNext < bound {
-			// Never fire past the next pacer boundary: the hook must run
-			// with all shards parked before any event at or after it.
-			bound = s.pacerNext
+		if len(s.tickers) > 0 {
+			if b, _ := s.tickNext(); b < bound {
+				// Never fire past the next ticker boundary: hooks must run
+				// with all shards parked before any event at or after it.
+				bound = b
+			}
 		}
 		last := noEvent
 		for len(sh.heap) > 0 && sh.heap[0].when < bound {

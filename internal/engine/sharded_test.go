@@ -189,6 +189,65 @@ func TestPacerBoundaries(t *testing.T) {
 	}
 }
 
+// TestTickerSlots pins the multi-ticker contract at K=1 and K>1: slots
+// tick independently at their own periods, a boundary due in several slots
+// fires them in ascending slot order, removing one slot leaves the others
+// armed, and the firing sequence is identical at every shard count.
+func TestTickerSlots(t *testing.T) {
+	type firing struct {
+		slot     int
+		boundary uint64
+	}
+	runOnce := func(k int, dropSlot0 bool) []firing {
+		s := NewSharded(3)
+		s.SetShards(k)
+		for i := 0; i < 3; i++ {
+			d := s.Domain(i)
+			d.Bind(sinkFunc(func(kind uint8, a, b uint64) {
+				if a > 0 {
+					d.After(700, kind, a-1, b)
+				}
+			}))
+		}
+		var fired []firing
+		s.SetPacer(1000, func(b uint64) { fired = append(fired, firing{0, b}) })
+		s.SetTicker(1, 1500, func(b uint64) { fired = append(fired, firing{1, b}) })
+		s.SetTicker(2, 3000, func(b uint64) { fired = append(fired, firing{2, b}) })
+		if dropSlot0 {
+			s.SetPacer(0, nil)
+		}
+		s.Domain(0).After(10, 1, 5, 0) // events at 10, 710, ..., 3510
+		s.Run()
+		return fired
+	}
+	want := []firing{
+		{0, 1000}, {1, 1500}, {0, 2000}, {0, 3000}, {1, 3000}, {2, 3000},
+	}
+	wantDropped := []firing{{1, 1500}, {1, 3000}, {2, 3000}}
+	for _, k := range []int{1, 3} {
+		got := runOnce(k, false)
+		if len(got) != len(want) {
+			t.Fatalf("K=%d: tickers fired %v, want %v", k, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("K=%d: tickers fired %v, want %v", k, got, want)
+			}
+		}
+		// Removing slot 0 (the obs pacer pattern) must not disturb the
+		// other slots — the regression the slot API exists to prevent.
+		got = runOnce(k, true)
+		if len(got) != len(wantDropped) {
+			t.Fatalf("K=%d dropped slot 0: tickers fired %v, want %v", k, got, wantDropped)
+		}
+		for i := range wantDropped {
+			if got[i] != wantDropped[i] {
+				t.Fatalf("K=%d dropped slot 0: tickers fired %v, want %v", k, got, wantDropped)
+			}
+		}
+	}
+}
+
 // TestShardedRunReuse runs the same engine twice and checks the clock is
 // monotone and domain Now() agrees with the engine between runs.
 func TestShardedRunReuse(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"killi/internal/faultmodel"
 	"killi/internal/gpu"
 	"killi/internal/killi"
 	"killi/internal/obs"
@@ -217,6 +218,17 @@ type Config struct {
 	// recomputed ones; corrupted or stale entries are recomputed. Cached
 	// results carry no debug Counters.
 	CacheDir string
+	// FaultClasses selects the fault population's class mix for the LV
+	// scheme runs, in faultmodel.ClassSyntax ("persistent" or a
+	// "mixed:..." spec); empty means persistent, the paper's model. The
+	// fault-free nominal baseline always runs with the zero spec, so
+	// transient strikes never corrupt the unprotected reference machine.
+	FaultClasses string
+	// ScrubKernels, when positive, runs the scheme's disabled-line
+	// scrubber (gpu.System.Scrub) after every ScrubKernels-th kernel,
+	// except after the last. Zero never scrubs. Schemes without a
+	// scrubber ignore the knob.
+	ScrubKernels int
 	// Progress, when non-nil, is called once per completed sweep task with
 	// the cumulative completed count and the total task count. With
 	// Parallelism > 1 it is called from worker goroutines (the counts stay
@@ -313,14 +325,21 @@ func KernelSeeds(seed uint64, warmups int) []uint64 {
 // runKernels drives one simulation through every warmup kernel and returns
 // the measured (final) kernel's result. Cancellation is checked between
 // kernels — one kernel is the unit of work the engine runs to completion,
-// so that is the granularity at which an interrupted run stops.
-func runKernels(ctx context.Context, sys *gpu.System, traces *workload.TraceSet) (gpu.Result, error) {
+// so that is the granularity at which an interrupted run stops. When
+// scrubEvery is positive, the scheme's disabled-line scrubber runs after
+// every scrubEvery-th kernel except the last, so the measured kernel sees
+// the scrubber's steady-state reclaim/re-disable churn but never a scrub
+// immediately before its own measurement.
+func runKernels(ctx context.Context, sys *gpu.System, traces *workload.TraceSet, scrubEvery int) (gpu.Result, error) {
 	var res gpu.Result
 	for k := 0; k < traces.Kernels(); k++ {
 		if err := ctx.Err(); err != nil {
 			return gpu.Result{}, err
 		}
 		res = sys.Run(traces.Kernel(k))
+		if scrubEvery > 0 && k+1 < traces.Kernels() && (k+1)%scrubEvery == 0 {
+			sys.Scrub()
+		}
 	}
 	return res, nil
 }
@@ -339,33 +358,58 @@ type task struct {
 // changes the key. The scheme is identified by its catalog name, which
 // encodes its configuration (e.g. "killi-1:64").
 func taskDesc(cfg Config, g gpu.Config, schemeName, workloadName string) string {
-	return fmt.Sprintf("gpu=%#v\nscheme=%s\nworkload=%s\nseed=%d\nrequests=%d\nwarmup=%d",
-		g, schemeName, workloadName, cfg.Seed, cfg.RequestsPerCU, cfg.WarmupKernels)
+	return fmt.Sprintf("gpu=%#v\nscheme=%s\nworkload=%s\nseed=%d\nrequests=%d\nwarmup=%d\nscrub=%d",
+		g, schemeName, workloadName, cfg.Seed, cfg.RequestsPerCU, cfg.WarmupKernels, cfg.ScrubKernels)
 }
 
 // cacheable extracts the scalar slice of a result that the cache stores.
 func cacheable(res gpu.Result) simcache.Result {
-	return simcache.Result{
-		Cycles:        res.Cycles,
-		Instructions:  res.Instructions,
-		L2Misses:      res.L2Misses,
-		L2Accesses:    res.L2Accesses,
-		MemAccesses:   res.MemAccesses,
-		DisabledLines: res.DisabledLines,
+	c := simcache.Result{
+		Cycles:           res.Cycles,
+		Instructions:     res.Instructions,
+		L2Misses:         res.L2Misses,
+		L2Accesses:       res.L2Accesses,
+		MemAccesses:      res.MemAccesses,
+		DisabledLines:    res.DisabledLines,
+		SDC:              res.SDC,
+		TransientStrikes: res.TransientStrikes,
 	}
+	if res.HasMisclass {
+		c.MisclassLines = res.Misclass.Lines
+		c.TrueFaulty = res.Misclass.TrueFaulty
+		c.MisclassDisabled = res.Misclass.Disabled
+		c.MisclassInitial = res.Misclass.Initial
+		c.FalseDisable = res.Misclass.FalseDisable
+		c.FalseTrust = res.Misclass.FalseTrust
+	}
+	return c
 }
 
 // cachedResult rebuilds a gpu.Result from a cache entry. Counters stay nil:
 // the sweep merge consumes only the scalars.
 func cachedResult(c simcache.Result) gpu.Result {
-	return gpu.Result{
-		Cycles:        c.Cycles,
-		Instructions:  c.Instructions,
-		L2Misses:      c.L2Misses,
-		L2Accesses:    c.L2Accesses,
-		MemAccesses:   c.MemAccesses,
-		DisabledLines: c.DisabledLines,
+	res := gpu.Result{
+		Cycles:           c.Cycles,
+		Instructions:     c.Instructions,
+		L2Misses:         c.L2Misses,
+		L2Accesses:       c.L2Accesses,
+		MemAccesses:      c.MemAccesses,
+		DisabledLines:    c.DisabledLines,
+		SDC:              c.SDC,
+		TransientStrikes: c.TransientStrikes,
 	}
+	if c.MisclassLines > 0 {
+		res.HasMisclass = true
+		res.Misclass = gpu.Misclass{
+			Lines:        c.MisclassLines,
+			TrueFaulty:   c.TrueFaulty,
+			Disabled:     c.MisclassDisabled,
+			Initial:      c.MisclassInitial,
+			FalseDisable: c.FalseDisable,
+			FalseTrust:   c.FalseTrust,
+		}
+	}
+	return res
 }
 
 // Run executes the full sweep: for each workload, a fault-free baseline at
@@ -380,6 +424,10 @@ func cachedResult(c simcache.Result) gpu.Result {
 func Run(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	base := cfg.baseGPU()
+	classes, err := faultmodel.ParseClassSpec(cfg.FaultClasses)
+	if err != nil {
+		return nil, err
+	}
 	specs := Schemes()
 
 	// Resolve workloads and generate every kernel's traces up front, so
@@ -431,12 +479,15 @@ func Run(ctx context.Context, cfg Config) ([]Row, error) {
 		var schemeName string
 		var faults *gpu.SharedFaults
 		if t.scheme < 0 {
+			// The baseline keeps the zero ClassSpec: it is the fault-free
+			// nominal reference, so not even transient strikes touch it.
 			g.Voltage = 1.0
 			newScheme = func() protection.Scheme { return protection.NewNone() }
 			schemeName = "none"
 			faults = faultsBase
 		} else {
 			g.Voltage = cfg.Voltage
+			g.Classes = classes
 			newScheme = specs[t.scheme].New
 			schemeName = specs[t.scheme].Name
 			faults = faultsLV
@@ -456,7 +507,7 @@ func Run(ctx context.Context, cfg Config) ([]Row, error) {
 		}
 		sys := gpu.NewShared(g, newScheme, faults)
 		sys.SetShards(cfg.Shards)
-		res, err := runKernels(ctx, sys, traces[t.workload])
+		res, err := runKernels(ctx, sys, traces[t.workload], cfg.ScrubKernels)
 		if err != nil {
 			return gpu.Result{}, err
 		}
@@ -540,8 +591,11 @@ func Run(ctx context.Context, cfg Config) ([]Row, error) {
 // returns the raw result — the building block the examples use. It follows
 // Run's kernel semantics: cfg.WarmupKernels unmeasured warmup kernels
 // precede the measured one, each re-walking the workload's data structures
-// in a fresh request order. Cancelling ctx stops the run at the next
-// kernel boundary and returns ctx.Err().
+// in a fresh request order, with cfg.FaultClasses and cfg.ScrubKernels
+// applied exactly as the sweep applies them to its LV tasks (a nominal
+// 1.0-voltage run keeps the zero spec, matching the sweep's baseline).
+// Cancelling ctx stops the run at the next kernel boundary and returns
+// ctx.Err().
 func RunOne(ctx context.Context, cfg Config, workloadName string, newScheme protection.Factory, voltage float64) (gpu.Result, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName(workloadName)
@@ -550,10 +604,15 @@ func RunOne(ctx context.Context, cfg Config, workloadName string, newScheme prot
 	}
 	g := cfg.baseGPU()
 	g.Voltage = voltage
+	if voltage != 1.0 {
+		if g.Classes, err = faultmodel.ParseClassSpec(cfg.FaultClasses); err != nil {
+			return gpu.Result{}, err
+		}
+	}
 	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, KernelSeeds(cfg.Seed, cfg.WarmupKernels))
 	sys := gpu.New(g, newScheme)
 	sys.SetShards(cfg.Shards)
-	return runKernels(ctx, sys, traces)
+	return runKernels(ctx, sys, traces, cfg.ScrubKernels)
 }
 
 // RunShared runs one fully prepared simulation: the caller supplies the
@@ -570,7 +629,7 @@ func RunOne(ctx context.Context, cfg Config, workloadName string, newScheme prot
 func RunShared(ctx context.Context, g gpu.Config, newScheme protection.Factory, faults *gpu.SharedFaults, traces *workload.TraceSet, shards int) (gpu.Result, error) {
 	sys := gpu.NewShared(g, newScheme, faults)
 	sys.SetShards(shards)
-	return runKernels(ctx, sys, traces)
+	return runKernels(ctx, sys, traces, 0)
 }
 
 // RunOneNamed is RunOne with the scheme given by its SchemeSyntax name and,
@@ -597,6 +656,13 @@ func RunOneNamed(ctx context.Context, cfg Config, workloadName, schemeName strin
 	}
 	g := cfg.baseGPU()
 	g.Voltage = voltage
+	if voltage != 1.0 {
+		// Mirror RunOne: the class spec is part of the simulated machine,
+		// so it must be part of the cache key.
+		if g.Classes, err = faultmodel.ParseClassSpec(cfg.FaultClasses); err != nil {
+			return gpu.Result{}, err
+		}
+	}
 	key := simcache.Key(taskDesc(cfg, g, schemeName, workloadName))
 	if c, ok := store.Get(key); ok {
 		return cachedResult(c), nil
@@ -624,11 +690,16 @@ func RunOneObserved(ctx context.Context, cfg Config, workloadName string, newSch
 	}
 	g := cfg.baseGPU()
 	g.Voltage = voltage
+	if voltage != 1.0 {
+		if g.Classes, err = faultmodel.ParseClassSpec(cfg.FaultClasses); err != nil {
+			return gpu.Result{}, err
+		}
+	}
 	traces := w.TraceSet(g.CUs, cfg.RequestsPerCU, KernelSeeds(cfg.Seed, cfg.WarmupKernels))
 	sys := gpu.New(g, newScheme)
 	sys.SetShards(cfg.Shards)
 	sys.SetObserver(o, epochCycles)
-	return runKernels(ctx, sys, traces)
+	return runKernels(ctx, sys, traces, cfg.ScrubKernels)
 }
 
 // ValidateFlags rejects CLI knob combinations that would panic downstream

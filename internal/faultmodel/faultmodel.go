@@ -20,6 +20,21 @@
 //
 // The model is piecewise log-linear between calibrated (voltage, P_cell)
 // knots, with a multiplicative frequency factor.
+//
+// # Fault taxonomy
+//
+// Sampled fault positions (Map/Resolved) answer *where* cells fail; fault
+// classes (ClassSpec, classes.go) answer *how* each failure manifests over
+// time: persistent (the paper's model — always stuck while the voltage
+// activates it), intermittent (stuck only during fault epochs chosen by a
+// deterministic per-(seed, line, cell, epoch) hash stream), aging (a
+// monotone per-epoch activation-probability ramp), and transient (Poisson
+// strike events that flip a stored bit once and clear on rewrite — a rate
+// process over lines, not a sampled-cell attribute). The zero ClassSpec is
+// the pure-persistent special case and is bit-identical to the legacy
+// Map/Resolved pipeline; ParseClassSpec/ClassSyntax define the
+// "persistent | mixed:<spec>" grammar the CLIs accept. See ARCHITECTURE.md
+// § Fault taxonomy for the determinism contract.
 package faultmodel
 
 import (
@@ -184,7 +199,10 @@ func (m Model) LineFaultDist(bitsPerLine int, vNorm, freqGHz float64) LineDist {
 	return d
 }
 
-// Fault is a persistent stuck-at fault in one cell of a line.
+// Fault is a sampled stuck-at fault in one cell of a line. How the fault
+// manifests over time is a separate, orthogonal label: persistent unless a
+// ClassSpec assigns the cell an intermittent or aging class via ClassOf
+// (the sampled position and polarity are class-independent).
 type Fault struct {
 	// Bit is the cell's bit position within the line.
 	Bit int
@@ -199,9 +217,11 @@ type Fault struct {
 	Severity float64
 }
 
-// Map is a persistent fault population for an array of lines, generated at
+// Map is a sampled fault population for an array of lines, generated at
 // a reference (minimum) voltage. Faults for any voltage ≥ the reference are
 // the subset whose Severity is within that voltage's failure probability.
+// The map records positions and polarities only; with no ClassSpec layered
+// on top every fault behaves persistently.
 //
 // The population is stored packed: one flat fault buffer with per-line
 // offsets, so a 32K-line map is two allocations instead of one slice per

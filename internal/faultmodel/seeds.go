@@ -1,8 +1,9 @@
 package faultmodel
 
 // DieSeed derives the fault-map seed for one die of a Monte Carlo campaign
-// from the campaign's base seed. Every die of a fleet gets its own
-// persistent fault population, so the seeds must produce pairwise
+// from the campaign's base seed. Every die of a fleet gets its own fault
+// population (persistent or classed — ClassSeed derives the class streams
+// from the same per-die seed), so the seeds must produce pairwise
 // independent xrand streams: the derivation is an affine jump in the Weyl
 // sequence splitmix64 is built on (the golden-ratio increment is odd, so
 // die → x is injective for any base) followed by two rounds of the

@@ -63,6 +63,7 @@ var (
 	cSDC                 = stats.Intern("l2.silent_data_corruption")
 	cErrorMisses         = stats.Intern("l2.error_misses")
 	cSoftErrors          = stats.Intern("l2.soft_errors_injected")
+	cTransientStrikes    = stats.Intern("l2.transient_strikes")
 	cEvictions           = stats.Intern("l2.evictions")
 	cBypassFills         = stats.Intern("l2.bypass_fills")
 	cWriteUpdates        = stats.Intern("l2.write_updates")
@@ -96,6 +97,15 @@ type Config struct {
 	// carries parity (§4.1), so the flip is always detected; the entry is
 	// invalidated and the access becomes a safe miss.
 	TagSoftErrorPerLookup float64
+	// Classes layers the faultmodel taxonomy over the sampled fault
+	// population: intermittent and aging faults manifest per fault epoch,
+	// transient strikes arrive as a Poisson rate per cell-cycle. The zero
+	// spec (the default) is the paper's pure-persistent model, bit-identical
+	// to a configuration without the field.
+	Classes faultmodel.ClassSpec
+	// ClassEpochCycles is the fault-epoch length for intermittent/aging
+	// activation and the transient-strike tick (0 = DefaultEpochCycles).
+	ClassEpochCycles uint64
 }
 
 // DefaultConfig returns the paper's Table 3 GPU configuration at nominal
@@ -131,7 +141,16 @@ type Result struct {
 	L2Accesses    uint64
 	MemAccesses   uint64
 	DisabledLines int
-	Counters      *stats.Counters
+	// SDC counts reads this run that delivered data differing from ground
+	// truth without the scheme noticing (the l2.silent_data_corruption
+	// delta). TransientStrikes counts fault-class strikes injected this run.
+	SDC              uint64
+	TransientStrikes uint64
+	// Misclass is the DFH-vs-ground-truth tally at the end of the run,
+	// valid when HasMisclass is set (the scheme exposes DFH codes).
+	Misclass    Misclass
+	HasMisclass bool
+	Counters    *stats.Counters
 	// Sched is the engine's deterministic scheduling ledger for this run
 	// (barrier rounds, fired events/timestamps, cross-shard traffic). It is
 	// a pure function of the simulation and the shard count — not of the
@@ -189,6 +208,11 @@ type System struct {
 	// stallUntil gates request issue after a voltage transition whose
 	// scheme requires an offline MBIST pass. Written only between Runs.
 	stallUntil uint64
+
+	// classed is set when cfg.Classes is non-zero; classEpoch is the fault
+	// epoch length in cycles (always valid, defaulted in NewShared).
+	classed    bool
+	classEpoch uint64
 
 	shards int
 
@@ -248,6 +272,7 @@ type bankDomain struct {
 	ctr        stats.Counters
 	softRNG    *xrand.Rand
 	replRNG    *xrand.Rand
+	strikeRNG  *xrand.Rand // transient fault-class strikes; nil unless armed
 	wayScratch []int
 
 	// obsBuf buffers scheme emissions for deterministic cross-bank
@@ -389,6 +414,28 @@ func NewShared(cfg Config, newScheme protection.Factory, shared *SharedFaults) *
 		b.scheme = newScheme()
 		b.scheme.Attach(b)
 		b.scheme.Reset(cfg.Voltage)
+	}
+
+	s.classEpoch = cfg.ClassEpochCycles
+	if s.classEpoch == 0 {
+		s.classEpoch = DefaultEpochCycles
+	}
+	if !cfg.Classes.IsZero() {
+		s.classed = true
+		classSeed := faultmodel.ClassSeed(cfg.FaultSeed)
+		for _, b := range s.banks {
+			b.data.SetFaultClasses(cfg.Classes, classSeed)
+		}
+		if cfg.Classes.TransientRate > 0 {
+			for i, b := range s.banks {
+				b.strikeRNG = xrand.New(cfg.FaultSeed ^ 0x57a1c3b0175eed ^ (uint64(i)+1)*0xd6e8feb86659fd93)
+			}
+			// Slot 1: the observer pacer owns slot 0 (obs.go). The ticker
+			// fires with every shard parked, so the handler may touch all
+			// banks; its fire-set is a pure function of the event timeline,
+			// never of the shard count.
+			s.eng.SetTicker(1, s.classEpoch, s.onStrikeTick)
+		}
 	}
 
 	// Declare the latency topology so the engine can derive real per-shard
@@ -615,6 +662,120 @@ func (s *System) InjectAgingFaults(seed uint64, n int) {
 	s.sysCtr.AddC(cAgingFaults, uint64(n))
 }
 
+// onStrikeTick is the slot-1 engine ticker armed when the fault-class spec
+// has a transient rate: at each fault-epoch boundary it draws this epoch's
+// strike count per bank from the bank's private Poisson stream (banks in
+// index order, so the draw order is canonical) and flips stored bits.
+// Strikes corrupt the payload itself and are erased by the next write —
+// the same mechanism as SoftErrorPerRead, but time-driven rather than
+// access-driven, so cold resident lines accumulate flips.
+func (s *System) onStrikeTick(boundary uint64) {
+	for _, b := range s.banks {
+		cells := float64(b.data.Lines()) * float64(bitvec.LineBits)
+		n := b.strikeRNG.Poisson(s.cfg.Classes.TransientRate * cells * float64(s.classEpoch))
+		for j := 0; j < n; j++ {
+			b.data.InjectSoftError(b.strikeRNG.Intn(b.data.Lines()), b.strikeRNG.Intn(bitvec.LineBits))
+		}
+		if n > 0 {
+			b.ctr.AddC(cTransientStrikes, uint64(n))
+		}
+	}
+}
+
+// dfhProber is implemented by classifier schemes that expose their per-line
+// DFH state (killi.Scheme does). Codes follow the paper's Table 1 two-bit
+// encoding: 0 = stable/0-fault, 1 = initial, 2 = stable/1-fault,
+// 3 = disabled. The interface lives here so gpu needs no import of the
+// scheme package.
+type dfhProber interface{ DFHCode(set, way int) uint8 }
+
+// scrubber is implemented by schemes with an idle-cycle disabled-line
+// scrubber (killi's footnote-7 scrubber).
+type scrubber interface{ Scrub() int }
+
+// Misclass tallies the DFH classifier's state against fault-map ground
+// truth. The ground truth (CapableFaultCount) is a simulator-only port:
+// hardware cannot see dormant intermittent faults, which is precisely why
+// the paper's runtime classification can misclassify them — this oracle
+// measures how often.
+type Misclass struct {
+	Lines        int // lines inspected (all L2 lines)
+	TrueFaulty   int // ground truth: lines with >= 1 capable fault
+	Disabled     int // lines the classifier has disabled
+	Initial      int // lines still unclassified (neither false-* applies)
+	FalseDisable int // disabled although SECDED could serve them (< 2 capable faults)
+	FalseTrust   int // trusted at a protection level below the capable fault count
+}
+
+// Misclassification compares every line's DFH state against fault-map
+// ground truth at the current fault epoch; ok reports whether the attached
+// scheme exposes DFH codes at all. A Stable0 line with any capable fault,
+// or a Stable1 line with two or more, counts as false trust (an SDC
+// window); a Disabled line with fewer than two counts as false disable
+// (lost capacity). Call only between Runs.
+func (s *System) Misclassification() (Misclass, bool) {
+	var m Misclass
+	if _, ok := s.banks[0].scheme.(dfhProber); !ok {
+		return m, false
+	}
+	ways := s.cfg.L2Ways
+	epoch := s.eng.Now() / s.classEpoch
+	for _, b := range s.banks {
+		if s.classed {
+			b.data.SetFaultEpoch(epoch)
+		}
+		p := b.scheme.(dfhProber)
+		sets := b.data.Lines() / ways
+		for set := 0; set < sets; set++ {
+			for way := 0; way < ways; way++ {
+				capable := b.data.CapableFaultCount(set*ways + way)
+				m.Lines++
+				if capable >= 1 {
+					m.TrueFaulty++
+				}
+				switch p.DFHCode(set, way) {
+				case 3:
+					m.Disabled++
+					if capable < 2 {
+						m.FalseDisable++
+					}
+				case 1:
+					m.Initial++
+				case 2:
+					if capable >= 2 {
+						m.FalseTrust++
+					}
+				default: // stable, 0 known faults
+					if capable >= 1 {
+						m.FalseTrust++
+					}
+				}
+			}
+		}
+	}
+	return m, true
+}
+
+// Scrub runs each bank scheme's disabled-line scrubber, if the scheme has
+// one, and returns the total number of reclaimed lines. Call only between
+// Runs. Under a classed fault population the scrubber's re-test observes
+// the current fault epoch, so intermittent faults that are dormant right
+// now pass the test and the line is reclaimed only to fail again later —
+// exactly the churn the misclassification oracle measures.
+func (s *System) Scrub() (reclaimed int, ok bool) {
+	if _, is := s.banks[0].scheme.(scrubber); !is {
+		return 0, false
+	}
+	epoch := s.eng.Now() / s.classEpoch
+	for _, b := range s.banks {
+		if s.classed {
+			b.data.SetFaultEpoch(epoch)
+		}
+		reclaimed += b.scheme.(scrubber).Scrub()
+	}
+	return reclaimed, true
+}
+
 // mergeCounters rebuilds the merged counter view from the system counters
 // and every domain's private set, in fixed order. Addition commutes, so
 // the merged values are independent of shard count and scheduling.
@@ -739,13 +900,19 @@ func (s *System) Run(traces [][]workload.Request) Result {
 	}
 	s.mergeCounters()
 	res := Result{
-		Cycles:        cycles - startCycle,
-		L2Misses:      s.ctr.Since(snap, "l2.read_misses") + s.ctr.Since(snap, "l2.error_misses"),
-		L2Accesses:    s.ctr.Since(snap, "l2.accesses"),
-		MemAccesses:   s.memReads() - startMem,
-		DisabledLines: s.DisabledLines(),
-		Counters:      &s.ctr,
-		Sched:         s.eng.Stats(),
+		Cycles:           cycles - startCycle,
+		L2Misses:         s.ctr.Since(snap, "l2.read_misses") + s.ctr.Since(snap, "l2.error_misses"),
+		L2Accesses:       s.ctr.Since(snap, "l2.accesses"),
+		MemAccesses:      s.memReads() - startMem,
+		DisabledLines:    s.DisabledLines(),
+		SDC:              s.ctr.Since(snap, "l2.silent_data_corruption"),
+		TransientStrikes: s.ctr.Since(snap, "l2.transient_strikes"),
+		Counters:         &s.ctr,
+		Sched:            s.eng.Stats(),
+	}
+	if mc, ok := s.Misclassification(); ok {
+		res.Misclass = mc
+		res.HasMisclass = true
 	}
 	for _, c := range s.cus {
 		res.Instructions += c.instrs
@@ -855,6 +1022,11 @@ func (c *cuDomain) l1Fill(addr uint64) {
 
 // OnEvent implements engine.EventSink for an L2 bank.
 func (b *bankDomain) OnEvent(kind uint8, a, bb uint64) {
+	if b.sys.classed {
+		// Keep the data array's fault epoch in step with the bank's clock so
+		// intermittent/aging activation is a pure function of simulated time.
+		b.data.SetFaultEpoch(b.d.Now() / b.sys.classEpoch)
+	}
 	switch kind {
 	case bkRead:
 		b.read(a, int(bb))

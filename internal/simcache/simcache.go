@@ -41,17 +41,28 @@ import (
 
 // SchemaVersion invalidates every existing cache entry when bumped. It must
 // change whenever a code change alters simulation results (a golden-digest
-// change is the tell) or the Result layout.
-const SchemaVersion = 2
+// change is the tell) or the Result layout. v3: fault-class results (SDC,
+// transient strikes, misclassification scalars) joined the payload.
+const SchemaVersion = 3
 
-// Result is the cacheable scalar slice of a simulation result.
+// Result is the cacheable scalar slice of a simulation result. The
+// misclassification fields are zero for runs whose scheme exposes no DFH
+// codes (MisclassLines == 0 marks them absent).
 type Result struct {
-	Cycles        uint64 `json:"cycles"`
-	Instructions  uint64 `json:"instructions"`
-	L2Misses      uint64 `json:"l2_misses"`
-	L2Accesses    uint64 `json:"l2_accesses"`
-	MemAccesses   uint64 `json:"mem_accesses"`
-	DisabledLines int    `json:"disabled_lines"`
+	Cycles           uint64 `json:"cycles"`
+	Instructions     uint64 `json:"instructions"`
+	L2Misses         uint64 `json:"l2_misses"`
+	L2Accesses       uint64 `json:"l2_accesses"`
+	MemAccesses      uint64 `json:"mem_accesses"`
+	DisabledLines    int    `json:"disabled_lines"`
+	SDC              uint64 `json:"sdc,omitempty"`
+	TransientStrikes uint64 `json:"transient_strikes,omitempty"`
+	MisclassLines    int    `json:"misclass_lines,omitempty"`
+	TrueFaulty       int    `json:"true_faulty,omitempty"`
+	MisclassDisabled int    `json:"misclass_disabled,omitempty"`
+	MisclassInitial  int    `json:"misclass_initial,omitempty"`
+	FalseDisable     int    `json:"false_disable,omitempty"`
+	FalseTrust       int    `json:"false_trust,omitempty"`
 }
 
 // entry is the on-disk representation of one cached result.
@@ -65,10 +76,13 @@ type entry struct {
 // checksum digests the fields the entry protects: the schema, the key, and
 // the canonical encoding of the result.
 func (e entry) checksum() string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%d %d %d %d %d %d",
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%d %d %d %d %d %d %d %d %d %d %d %d %d %d",
 		e.Schema, e.Key,
 		e.Result.Cycles, e.Result.Instructions, e.Result.L2Misses,
-		e.Result.L2Accesses, e.Result.MemAccesses, e.Result.DisabledLines)))
+		e.Result.L2Accesses, e.Result.MemAccesses, e.Result.DisabledLines,
+		e.Result.SDC, e.Result.TransientStrikes, e.Result.MisclassLines,
+		e.Result.TrueFaulty, e.Result.MisclassDisabled, e.Result.MisclassInitial,
+		e.Result.FalseDisable, e.Result.FalseTrust)))
 	return hex.EncodeToString(sum[:])
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"killi/internal/campaign"
 	"killi/internal/experiments"
+	"killi/internal/faultmodel"
 	"killi/internal/gpu"
 	"killi/internal/simcache"
 	"killi/internal/workload"
@@ -78,6 +79,12 @@ type JobRequest struct {
 	Schemes []string `json:"schemes,omitempty"`
 	// PassThreshold is a campaign job's yield criterion (default 1.10).
 	PassThreshold float64 `json:"pass_threshold,omitempty"`
+	// FaultClasses selects non-persistent fault populations by
+	// faultmodel.ClassSyntax spec. Run and sweep jobs take at most one
+	// (their single population); campaign jobs take a list (a campaign
+	// axis). Absent, empty, and ["persistent"] all mean the paper's
+	// persistent-only model and coalesce identically.
+	FaultClasses []string `json:"fault_classes,omitempty"`
 }
 
 // campaignConfig translates a campaign request into the campaign.Config its
@@ -88,6 +95,7 @@ func (r JobRequest) campaignConfig() campaign.Config {
 	return campaign.Config{
 		Workloads:     r.Workloads,
 		Schemes:       r.Schemes,
+		FaultClasses:  r.FaultClasses,
 		Voltages:      r.Voltages,
 		Dies:          r.Dies,
 		Seed:          r.Seed,
@@ -141,6 +149,20 @@ func (r JobRequest) normalized(defaultShards, maxProcs int) (JobRequest, error) 
 	}
 	if r.EpochCycles == 0 {
 		r.EpochCycles = gpu.DefaultEpochCycles
+	}
+	if len(r.FaultClasses) > 1 {
+		return r, fmt.Errorf(`a %s job takes at most one "fault_classes" spec (the list is a campaign axis)`, r.Kind)
+	}
+	if len(r.FaultClasses) == 1 {
+		spec, err := faultmodel.ParseClassSpec(r.FaultClasses[0])
+		if err != nil {
+			return r, err
+		}
+		if spec.IsZero() {
+			r.FaultClasses = nil // the default population; coalesce with absent
+		} else {
+			r.FaultClasses = []string{spec.String()}
+		}
 	}
 	switch r.Kind {
 	case KindRun:
@@ -205,6 +227,7 @@ func (r JobRequest) normalizedCampaign(defaultShards, maxProcs int) (JobRequest,
 		return r, err
 	}
 	r.Workloads, r.Schemes, r.Voltages = cc.Workloads, cc.Schemes, cc.Voltages
+	r.FaultClasses = cc.FaultClasses
 	r.Seed = cc.Seed
 	r.RequestsPerCU = cc.RequestsPerCU
 	r.WarmupKernels = cc.WarmupKernels
@@ -218,24 +241,27 @@ func (r JobRequest) normalizedCampaign(defaultShards, maxProcs int) (JobRequest,
 // the shard/parallelism invariance tests in internal/experiments and the
 // campaign parallelism-invariance test), so jobs differing only in
 // execution knobs coalesce into one simulation. v2 added the campaign
-// fields (they hash as empty for run/sweep jobs).
+// fields (they hash as empty for run/sweep jobs); v3 added the fault-class
+// list (empty = persistent-only, canonicalized by normalization so every
+// spelling of the same mix shares a key).
 func (r JobRequest) key() string {
 	volts := make([]string, len(r.Voltages))
 	for i, v := range r.Voltages {
 		volts[i] = fmt.Sprintf("%.17g", v)
 	}
 	return simcache.Key(fmt.Sprintf(
-		"simserver-job/v2\nkind=%s\nvoltage=%.17g\nrequests=%d\nseed=%d\nwarmup=%d\nworkloads=%s\nworkload=%s\nscheme=%s\ndies=%d\nvoltages=%s\nschemes=%s\nthreshold=%.17g",
+		"simserver-job/v3\nkind=%s\nvoltage=%.17g\nrequests=%d\nseed=%d\nwarmup=%d\nworkloads=%s\nworkload=%s\nscheme=%s\ndies=%d\nvoltages=%s\nschemes=%s\nthreshold=%.17g\nclasses=%s",
 		r.Kind, r.Voltage, r.RequestsPerCU, r.Seed, r.WarmupKernels,
 		strings.Join(r.Workloads, ","), r.Workload, r.Scheme,
-		r.Dies, strings.Join(volts, ","), strings.Join(r.Schemes, ","), r.PassThreshold))
+		r.Dies, strings.Join(volts, ","), strings.Join(r.Schemes, ","), r.PassThreshold,
+		strings.Join(r.FaultClasses, ",")))
 }
 
 // config translates the normalized request into the experiments.Config its
 // execution uses. CacheDir comes from the server, Progress is attached by
 // the executor.
 func (r JobRequest) config(cacheDir string) experiments.Config {
-	return experiments.Config{
+	cfg := experiments.Config{
 		Voltage:       r.Voltage,
 		RequestsPerCU: r.RequestsPerCU,
 		Seed:          r.Seed,
@@ -245,6 +271,10 @@ func (r JobRequest) config(cacheDir string) experiments.Config {
 		CacheDir:      cacheDir,
 		Workloads:     r.Workloads,
 	}
+	if len(r.FaultClasses) == 1 {
+		cfg.FaultClasses = r.FaultClasses[0]
+	}
+	return cfg
 }
 
 // RunResult is the scalar outcome of a run job.

@@ -495,3 +495,85 @@ func parseSSE(t *testing.T, resp *http.Response) map[string]int {
 	}
 	return counts
 }
+
+// TestFaultClassJobs pins the fault-class plumbing through the job layer:
+// spellings of the same spec coalesce, the persistent spelling coalesces
+// with an absent field, distinct mixes get distinct keys, run/sweep jobs
+// reject a multi-element list, malformed specs fail validation, and a
+// classed run job actually reaches the simulator (its result differs from
+// the persistent run).
+func TestFaultClassJobs(t *testing.T) {
+	norm := func(r JobRequest) JobRequest {
+		t.Helper()
+		n, err := r.normalized(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	plain := norm(smallRun(1))
+	persistent := smallRun(1)
+	persistent.FaultClasses = []string{"persistent"}
+	if k := norm(persistent).key(); k != plain.key() {
+		t.Error("explicit persistent job does not coalesce with the default")
+	}
+	a := smallRun(1)
+	a.FaultClasses = []string{"mixed:i=0.50@0.300"}
+	b := smallRun(1)
+	b.FaultClasses = []string{"mixed:i=0.5@0.3"}
+	if norm(a).key() != norm(b).key() {
+		t.Error("two spellings of one mix got distinct keys")
+	}
+	if norm(a).key() == plain.key() {
+		t.Error("mixed job shares a key with the persistent job")
+	}
+
+	s := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	for name, req := range map[string]JobRequest{
+		"malformed spec": {Kind: KindRun, Workload: "xsbench", Scheme: "killi-1:64", FaultClasses: []string{"mixed:zzz"}},
+		"list on a run":  {Kind: KindRun, Workload: "xsbench", Scheme: "killi-1:64", FaultClasses: []string{"persistent", "mixed:i=0.5@0.3"}},
+	} {
+		_, err := s.Submit(ctx, req)
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("%s: err = %v, want a ValidationError", name, err)
+		}
+	}
+
+	base, err := s.Submit(ctx, smallRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classed := smallRun(1)
+	classed.FaultClasses = []string{"mixed:i=0.5@0.3"}
+	got, err := s.Submit(ctx, classed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.Run == *base.Run {
+		t.Error("classed run job returned the persistent result; classes are not reaching the simulator")
+	}
+
+	// A campaign job carries the list as an axis and echoes the canonical
+	// specs in its result.
+	camp, err := s.Submit(ctx, JobRequest{
+		Kind:          KindCampaign,
+		Dies:          1,
+		Workloads:     []string{"xsbench"},
+		Schemes:       []string{"killi-1:64"},
+		Voltages:      []float64{0.625},
+		RequestsPerCU: 200,
+		FaultClasses:  []string{"", "mixed:i=0.50@0.300"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"persistent", "mixed:i=0.5@0.3"}
+	if !reflect.DeepEqual(camp.Campaign.FaultClasses, want) {
+		t.Errorf("campaign fault classes = %v, want %v", camp.Campaign.FaultClasses, want)
+	}
+	if len(camp.Campaign.Cells) != 2 {
+		t.Errorf("campaign produced %d cells, want 2 (one per class)", len(camp.Campaign.Cells))
+	}
+}

@@ -1,18 +1,26 @@
 // Package sram models a bit-level SRAM data array operating under low
 // voltage.
 //
-// The array stores true (intended) line payloads and applies its persistent
+// The array stores true (intended) line payloads and applies its sampled
 // stuck-at fault population when a line is read, so:
 //
 //   - masked faults arise naturally: a stuck-at-v cell holding data bit v
 //     corrupts nothing until the data changes (§5.6.2 of the paper);
-//   - faults are persistent: the same cells corrupt every access at a given
-//     voltage (§3);
+//   - faults are persistent by default: the same cells corrupt every access
+//     at a given voltage (§3);
 //   - raising the voltage deactivates the higher-severity faults
 //     (monotonicity), which is how Killi reclaims disabled lines.
 //
+// SetFaultClasses layers the faultmodel taxonomy on top: with a non-zero
+// ClassSpec, each sampled fault's class (persistent / intermittent / aging)
+// decides whether it manifests on a given access, evaluated from a
+// deterministic per-(seed, line, cell, epoch) hash against the array's
+// current fault epoch (SetFaultEpoch, driven by the simulator clock). The
+// zero-spec path is byte-identical to the legacy persistent model.
+//
 // Soft errors (transient bit flips) are injected by flipping the stored
 // payload itself; unlike LV faults they disappear on the next write.
+// Transient fault-class strikes use the same mechanism.
 //
 // Per the paper's dual-rail design (§2.4), the tag array runs at nominal
 // voltage, so only the data array modeled here experiences LV faults.
@@ -49,6 +57,15 @@ type Array struct {
 	mapWays   int
 	mapStride int
 	mapOffset int
+	// classed fault evaluation (SetFaultClasses): with classed set, Read
+	// consults each sampled fault's class and, for intermittent/aging
+	// faults, a deterministic per-(seed, line, cell, epoch) activation
+	// hash against faultEpoch (SetFaultEpoch). classed is false for the
+	// legacy pure-persistent model, keeping that path branch-predictable.
+	classed    bool
+	spec       faultmodel.ClassSpec
+	classSeed  uint64
+	faultEpoch uint64
 }
 
 // mapIndex translates a local line index to its fault-map line.
@@ -126,6 +143,37 @@ func NewResolvedView(n int, faults *faultmodel.Map, resolved *faultmodel.Resolve
 	}
 }
 
+// SetFaultClasses attaches a fault-class spec to the array: sampled faults
+// are labelled by faultmodel.ClassOf over (seed, map line, cell) and
+// non-persistent ones manifest per fault epoch via the deterministic
+// activation hash. A zero spec restores the legacy persistent model.
+// Classing is keyed by global fault-map line indices, so strided bank
+// views over one shared map agree with a monolithic array bit-for-bit.
+func (a *Array) SetFaultClasses(spec faultmodel.ClassSpec, classSeed uint64) {
+	a.spec = spec
+	a.classSeed = classSeed
+	a.classed = !spec.IsZero()
+}
+
+// SetFaultEpoch sets the fault epoch used to evaluate intermittent and
+// aging faults. The simulator advances it from its clock (cycle / epoch
+// length) before touching the array, so activation is a pure function of
+// simulated time — never of host scheduling.
+func (a *Array) SetFaultEpoch(epoch uint64) { a.faultEpoch = epoch }
+
+// faultActive reports whether a sampled fault manifests on an access right
+// now, given its class and the current fault epoch.
+func (a *Array) faultActive(mapLine, bit int) bool {
+	switch faultmodel.ClassOf(a.classSeed, mapLine, bit, a.spec) {
+	case faultmodel.Intermittent:
+		return faultmodel.ActiveInEpoch(a.classSeed, mapLine, bit, a.faultEpoch, a.spec.IntermittentProb)
+	case faultmodel.Aging:
+		return faultmodel.AgingActiveInEpoch(a.classSeed, mapLine, bit, a.faultEpoch, a.spec)
+	default:
+		return true
+	}
+}
+
 // Lines returns the number of lines in the array.
 func (a *Array) Lines() int { return len(a.lines) }
 
@@ -150,12 +198,23 @@ func (a *Array) Write(i int, data bitvec.Line) {
 }
 
 // Read returns the line as the failing cells present it: every active
-// stuck-at fault overrides its bit. Lifetime (injected) faults apply after
-// the voltage-dependent population, matching their injection order.
+// stuck-at fault overrides its bit — filtered, under a fault-class spec,
+// to the faults manifesting in the current fault epoch. Lifetime
+// (injected) faults apply after the voltage-dependent population, matching
+// their injection order.
 func (a *Array) Read(i int) bitvec.Line {
 	out := a.lines[i]
-	for _, f := range a.active.LineFaults(a.mapIndex(i)) {
-		out.SetBit(f.Bit, f.StuckAt)
+	mi := a.mapIndex(i)
+	if !a.classed {
+		for _, f := range a.active.LineFaults(mi) {
+			out.SetBit(f.Bit, f.StuckAt)
+		}
+	} else {
+		for _, f := range a.active.LineFaults(mi) {
+			if a.faultActive(mi, f.Bit) {
+				out.SetBit(f.Bit, f.StuckAt)
+			}
+		}
 	}
 	if a.injected != nil {
 		for _, f := range a.injected[i] {
@@ -170,10 +229,49 @@ func (a *Array) Read(i int) bitvec.Line {
 // check for silent data corruption; hardware has no such port.
 func (a *Array) ReadTrue(i int) bitvec.Line { return a.lines[i] }
 
-// ActiveFaultCount returns the number of active persistent faults in
-// line i at the current voltage.
+// ActiveFaultCount returns the number of faults in line i active at the
+// current voltage — and, under a fault-class spec, in the current fault
+// epoch. This is what an instantaneous test (MBIST-style characterization,
+// FLAIR's fill-time probe) observes, so intermittent faults that happen to
+// be dormant are missed exactly the way real profiling misses them; use
+// CapableFaultCount for ground truth.
 func (a *Array) ActiveFaultCount(i int) int {
-	n := a.active.LineCount(a.mapIndex(i))
+	mi := a.mapIndex(i)
+	n := 0
+	if !a.classed {
+		n = a.active.LineCount(mi)
+	} else {
+		for _, f := range a.active.LineFaults(mi) {
+			if a.faultActive(mi, f.Bit) {
+				n++
+			}
+		}
+	}
+	if a.injected != nil {
+		n += len(a.injected[i])
+	}
+	return n
+}
+
+// CapableFaultCount returns the ground-truth fault count of line i at the
+// current voltage: every fault that can corrupt data in some epoch —
+// persistent and intermittent faults always, aging faults once their
+// activation ramp is non-zero at the current epoch — plus injected
+// lifetime faults. The DFH misclassification oracle compares classifier
+// state against this; hardware has no such port.
+func (a *Array) CapableFaultCount(i int) int {
+	mi := a.mapIndex(i)
+	n := 0
+	if !a.classed {
+		n = a.active.LineCount(mi)
+	} else {
+		for _, f := range a.active.LineFaults(mi) {
+			if faultmodel.ClassOf(a.classSeed, mi, f.Bit, a.spec) != faultmodel.Aging ||
+				a.spec.AgingProb(a.faultEpoch) > 0 {
+				n++
+			}
+		}
+	}
 	if a.injected != nil {
 		n += len(a.injected[i])
 	}
@@ -184,8 +282,12 @@ func (a *Array) ActiveFaultCount(i int) int {
 // stuck value currently differs from the stored data — the faults that are
 // observable right now.
 func (a *Array) UnmaskedFaultCount(i int) int {
+	mi := a.mapIndex(i)
 	n := 0
-	for _, f := range a.active.LineFaults(a.mapIndex(i)) {
+	for _, f := range a.active.LineFaults(mi) {
+		if a.classed && !a.faultActive(mi, f.Bit) {
+			continue
+		}
 		if a.lines[i].Bit(f.Bit) != f.StuckAt {
 			n++
 		}

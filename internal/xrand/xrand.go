@@ -170,6 +170,37 @@ func (r *Rand) Binomial(n int, p float64) int {
 	return count
 }
 
+// Poisson returns a sample from Poisson(mean) by Knuth's product method,
+// which is exact and allocation-free in the small-mean regime of per-epoch
+// transient-strike counts. For larger means it splits the draw into chunks
+// (Poisson additivity) to keep the running product away from underflow.
+// mean <= 0 returns 0.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 || math.IsNaN(mean) {
+		return 0
+	}
+	count := 0
+	for mean > 0 {
+		chunk := mean
+		if chunk > 500 {
+			chunk = 500
+		}
+		mean -= chunk
+		limit := math.Exp(-chunk)
+		p := 1.0
+		k := -1
+		for {
+			k++
+			p *= r.Float64()
+			if p <= limit {
+				break
+			}
+		}
+		count += k
+	}
+	return count
+}
+
 // Perm returns a random permutation of [0, n) (Fisher–Yates).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

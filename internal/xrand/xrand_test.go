@@ -282,3 +282,31 @@ func TestMul128(t *testing.T) {
 		}
 	}
 }
+
+// TestPoisson pins the sampler's mean/variance against theory at a few
+// means spanning the strike-count regime, plus the edge cases.
+func TestPoisson(t *testing.T) {
+	r := New(77)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 || r.Poisson(math.NaN()) != 0 {
+		t.Fatal("Poisson of non-positive or NaN mean must be 0")
+	}
+	for _, mean := range []float64{0.01, 0.5, 3, 40, 1200} {
+		const n = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(r.Poisson(mean))
+			sum += x
+			sumSq += x * x
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		// Mean and variance are both `mean`; 5-sigma tolerance on the mean.
+		tol := 5 * math.Sqrt(mean/n)
+		if math.Abs(m-mean) > tol+1e-9 {
+			t.Errorf("Poisson(%g): sample mean %g, want within %g", mean, m, tol)
+		}
+		if mean >= 0.5 && (v < mean*0.8 || v > mean*1.2) {
+			t.Errorf("Poisson(%g): sample variance %g, want ~%g", mean, v, mean)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -56,5 +57,55 @@ func TestRepositoryIsFullyDocumented(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("undocumented packages: %v", got)
+	}
+}
+
+// TestStaleFlagDetection pins the flag-reference check: a doc flag that no
+// binary registers fails, registered flags and allowlisted external-tool
+// flags pass, and mid-word dashes are never flag references.
+func TestStaleFlagDetection(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "cmd", "tool", "main.go"), `// Command tool.
+package main
+
+import "flag"
+
+func main() {
+	_ = flag.String("alpha", "", "")
+	var n int
+	flag.IntVar(&n, "beta-count", 0, "")
+	flag.Parse()
+}
+`)
+	write(t, filepath.Join(root, "README.md"),
+		"Use `-alpha` or -beta-count here.\n"+
+			"go test -race -bench . is fine.\n"+
+			"false-disable and 2e-08 are not flags.\n"+
+			"But -gamma was renamed long ago.\n"+
+			"And (-delta) hides in parens.\n")
+
+	stale, err := checkDocFlags(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want exactly -gamma and -delta", stale)
+	}
+	for i, want := range []string{"-gamma", "-delta"} {
+		if !strings.Contains(stale[i], want) || !strings.Contains(stale[i], "README.md:") {
+			t.Errorf("stale[%d] = %q, want a README.md complaint about %s", i, stale[i], want)
+		}
+	}
+}
+
+// TestRepositoryFlagsAreReal is the in-test mirror of the Makefile gate:
+// every flag the four doc files reference must be registered by a binary.
+func TestRepositoryFlagsAreReal(t *testing.T) {
+	stale, err := checkDocFlags("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale doc flags: %v", stale)
 	}
 }
