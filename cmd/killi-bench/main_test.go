@@ -17,6 +17,7 @@ func goodPoint() point {
 		ServerColdRPS:             25,
 		ServerHotRPS:              4500,
 		CampaignDiesPerSecond:     11,
+		CampaignWarmDiesPerSecond: 400,
 		SingleRunCycles:           65000,
 		SingleRunSerialTimestamps: 24000,
 		SingleRunRoundsK4:         12000,
@@ -58,6 +59,15 @@ func TestEnforceThroughputRegressions(t *testing.T) {
 	if bad := enforce(base, cur); len(bad) != 0 {
 		t.Fatalf("10%% sweep drift flagged: %v", bad)
 	}
+	// The fsync-bound cold sweep gets 1.5x of headroom, not 15%: a 30%
+	// swing is host I/O noise, a 60% swing is a cache-write regression.
+	cur = base
+	cur.SweepColdSeconds = base.SweepColdSeconds * 1.3
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("30%% cold-sweep drift flagged: %v", bad)
+	}
+	cur.SweepColdSeconds = base.SweepColdSeconds * 1.6
+	assertViolation(t, enforce(base, cur), "sweep_cold_seconds")
 }
 
 // TestEnforceThroughputFloors pins the downward gates: campaign dies/s
@@ -88,6 +98,31 @@ func TestEnforceThroughputFloors(t *testing.T) {
 	cur.ServerHotRPS = base.ServerHotRPS * 3
 	if bad := enforce(base, cur); len(bad) != 0 {
 		t.Fatalf("throughput improvement flagged: %v", bad)
+	}
+}
+
+// TestEnforceWarmCampaignGate pins the relative warm-campaign floor: the
+// gate compares against the same run's cold rate, not the baseline, so a
+// uniformly slow host passes while a cache that stopped answering fails.
+func TestEnforceWarmCampaignGate(t *testing.T) {
+	base := goodPoint()
+
+	cur := base
+	cur.CampaignWarmDiesPerSecond = cur.CampaignDiesPerSecond * 8
+	assertViolation(t, enforce(base, cur), "campaign_warm_dies_per_second")
+
+	// Exactly at the floor passes; a uniformly slow host (both rates down
+	// 3x, ratio preserved) is noise, not a regression.
+	cur = base
+	cur.CampaignWarmDiesPerSecond = cur.CampaignDiesPerSecond * 10
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("10x warm campaign flagged: %v", bad)
+	}
+	cur = base
+	cur.CampaignDiesPerSecond = base.CampaignDiesPerSecond / 1.4
+	cur.CampaignWarmDiesPerSecond = base.CampaignWarmDiesPerSecond / 1.4
+	if bad := enforce(base, cur); len(bad) != 0 {
+		t.Fatalf("uniformly slow host flagged: %v", bad)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"killi/internal/faultmodel"
 	"killi/internal/gpu"
 	"killi/internal/protection"
+	"killi/internal/simcache"
 	"killi/internal/workload"
 )
 
@@ -109,10 +111,31 @@ type Config struct {
 	// and in-order aggregation, in dies (default 4 × workers). Memory grows
 	// with Window, never with Dies.
 	Window int
-	// Progress, when non-nil, is called after each die is aggregated with
-	// (diesDone, totalDies). Calls happen in die order on the aggregating
-	// goroutine, so the callback needs no locking of its own.
-	Progress func(done, total int)
+	// CacheDir, when non-empty, enables the content-addressed result cache
+	// (internal/simcache) at two grains: a whole-die record keyed by the
+	// campaign axes plus the die index (a warm identical re-run is one read
+	// per die, no fault-map build), and the per-cell entries the sweep path
+	// already uses (a campaign sharing a (seed, die, workload, scheme,
+	// classes) prefix with a prior one — say, new grid voltages — only
+	// simulates the new cells). Cached records are bit-identical to
+	// recomputed ones; corrupted or stale entries are recomputed silently.
+	CacheDir string
+	// CheckpointDir, when non-empty, appends each die's record to a
+	// checkpoint file in that directory as the die is aggregated, named by
+	// the campaign's axes digest. With Resume, Run first replays the
+	// checkpoint's valid prefix through the aggregator (truncating any torn
+	// tail from a killed run) and only dispatches the remaining dies — so
+	// an interrupted campaign restarts where it died with bit-identical
+	// final output.
+	CheckpointDir string
+	// Resume replays an existing checkpoint before dispatching. It is a
+	// no-op without CheckpointDir at the campaign layer; killi-fleet
+	// rejects that combination up front.
+	Resume bool
+	// Progress, when non-nil, is called after each die is aggregated.
+	// Calls happen in die order on the aggregating goroutine, so the
+	// callback needs no locking of its own.
+	Progress func(ProgressInfo)
 
 	// runSim substitutes the simulation executor in tests (nil =
 	// experiments.RunShared).
@@ -121,6 +144,16 @@ type Config struct {
 	// (nil = buildDieFaults): stub runs must not pay for — or be limited
 	// by — 32K-line fault maps they never read.
 	dieFaults func(g gpu.Config, voltages []float64) (at []*gpu.SharedFaults, nominal *gpu.SharedFaults)
+}
+
+// ProgressInfo is one progress callback's payload. Counts are cumulative:
+// Done dies have been aggregated so far, of which Cached were served whole
+// from the die-record cache and Resumed were replayed from a checkpoint.
+type ProgressInfo struct {
+	Done    int
+	Total   int
+	Cached  int
+	Resumed int
 }
 
 // buildDieFaults samples one die's fault population at the grid minimum
@@ -235,6 +268,38 @@ func (c Config) baseGPU() gpu.Config {
 	return gpu.DefaultConfig()
 }
 
+// axesDesc canonically describes every campaign input that determines a
+// single die's raw record — the normalized axes plus the base GPU config
+// with the campaign-owned fields (Voltage, FaultSeed, RefVoltage, Classes)
+// zeroed, since runDie overwrites them from the axes. Dies, PassThreshold,
+// Parallelism, Shards, and Window are deliberately absent: they change how
+// much is computed, or how it is scheduled and aggregated, never a die's
+// outcome — which is exactly what lets a 10k-die campaign reuse the records
+// of an earlier 1k-die one, and a resumed run reuse a checkpoint regardless
+// of worker count. Call on a Normalized config only.
+func (c Config) axesDesc() string {
+	g := c.baseGPU()
+	g.Voltage, g.FaultSeed, g.RefVoltage = 0, 0, 0
+	g.Classes = faultmodel.ClassSpec{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign-die\ngpu=%#v\nseed=%d\nrequests=%d\nwarmup=%d\n",
+		g, c.Seed, c.RequestsPerCU, c.WarmupKernels)
+	fmt.Fprintf(&b, "workloads=%s\nschemes=%s\nclasses=%s\nvoltages=",
+		strings.Join(c.Workloads, ","), strings.Join(c.Schemes, ","), strings.Join(c.FaultClasses, ";"))
+	for i, v := range c.Voltages {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%.17g", v)
+	}
+	return b.String()
+}
+
+// dieKey is the simcache content address of one die's whole record.
+func (c Config) dieKey(die int) string {
+	return simcache.Key(fmt.Sprintf("%s\ndie=%d", c.axesDesc(), die))
+}
+
 // dieRecord is one die's complete raw outcome: the fault-free baseline per
 // workload plus one sample per (workload, scheme, class, voltage) cell.
 // Records are small (a few scalars per cell), which is what keeps the
@@ -248,6 +313,28 @@ type dieRecord struct {
 	sdc    []uint64 // silent corruptions in the measured kernel
 	fdis   []int32  // DFH false disables vs the ground-truth oracle
 	ftru   []int32  // DFH false trusts (0 for schemes without DFH codes)
+
+	// Provenance, never serialized: how the record was obtained. The
+	// aggregator folds these into the Result's execution counters.
+	cached   bool // served whole from the die-record cache
+	resumed  bool // replayed from a checkpoint
+	cellHits int  // per-cell cache hits while computing this record
+}
+
+// toCache converts the record to its serialized form — the same shape the
+// die cache and the checkpoint file store.
+func (r *dieRecord) toCache() simcache.DieRecord {
+	return simcache.DieRecord{
+		Die: r.die, Base: r.base, Cycles: r.cycles, MPKI: r.mpki,
+		Disabled: r.dis, SDC: r.sdc, FalseDisable: r.fdis, FalseTrust: r.ftru,
+	}
+}
+
+func fromCache(c simcache.DieRecord) *dieRecord {
+	return &dieRecord{
+		die: c.Die, base: c.Base, cycles: c.Cycles, mpki: c.MPKI,
+		dis: c.Disabled, sdc: c.SDC, fdis: c.FalseDisable, ftru: c.FalseTrust,
+	}
 }
 
 // cellIndex flattens (workload, scheme, class, voltage) with voltage
@@ -311,9 +398,29 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	var store *simcache.Store
+	if cfg.CacheDir != "" {
+		if store, err = simcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+
 	refV := cfg.Voltages[0]
 	cells := len(cfg.Workloads) * len(cfg.Schemes) * len(cfg.FaultClasses) * len(cfg.Voltages)
 	runDie := func(die int) (*dieRecord, error) {
+		var dieKey string
+		if store != nil {
+			// Whole-die fast path: an identical campaign already evaluated
+			// this die. The shape check rejects a record written under
+			// different axes that collided (impossible short of a SHA-256
+			// break, but cheap to verify).
+			dieKey = cfg.dieKey(die)
+			if c, ok := store.GetDie(dieKey); ok && c.Die == die && c.Shaped(len(cfg.Workloads), cells) {
+				rec := fromCache(c)
+				rec.cached = true
+				return rec, nil
+			}
+		}
 		rec := &dieRecord{
 			die:    die,
 			base:   make([]uint64, len(cfg.Workloads)),
@@ -329,10 +436,38 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		g.RefVoltage = refV
 
 		// One fault population per die, resolved once per operating point
-		// and shared across every workload × scheme at that point.
+		// and shared across every workload × scheme at that point — built
+		// lazily, so a die whose every cell is served from the per-cell
+		// cache (a prefix-sharing campaign) never pays for the map.
 		gRef := g
 		gRef.Voltage = refV
-		faultsAt, faultsNominal := dieFaults(gRef, cfg.Voltages)
+		var faultsAt []*gpu.SharedFaults
+		var faultsNominal *gpu.SharedFaults
+		ensureFaults := func() {
+			if faultsAt == nil {
+				faultsAt, faultsNominal = dieFaults(gRef, cfg.Voltages)
+			}
+		}
+		// simCell is one cell through the per-cell cache: the key space is
+		// experiments.CellKey — the same population the sweep and killi-sim
+		// use — so a campaign sharing a (seed, die, workload, scheme,
+		// classes) prefix with any earlier run only simulates new cells.
+		simCell := func(g gpu.Config, f protection.Factory, schemeName string, wi int, pick func() *gpu.SharedFaults) (gpu.Result, error) {
+			var key string
+			if store != nil {
+				key = experiments.CellKey(g, schemeName, cfg.Workloads[wi], cfg.Seed, cfg.RequestsPerCU, cfg.WarmupKernels)
+				if c, ok := store.Get(key); ok {
+					rec.cellHits++
+					return experiments.ResultFromCache(c), nil
+				}
+			}
+			ensureFaults()
+			res, err := sim(ctx, g, f, pick(), traces[wi], cfg.Shards)
+			if err == nil && store != nil {
+				_ = store.Put(key, experiments.CacheableResult(res)) // best-effort, like the sweep
+			}
+			return res, err
+		}
 
 		for wi := range cfg.Workloads {
 			// The die's own fault-free nominal baseline: replacement and
@@ -343,7 +478,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			// phenomena being measured, not part of the yardstick.
 			g.Voltage = 1.0
 			g.Classes = faultmodel.ClassSpec{}
-			res, err := sim(ctx, g, noneFactory, faultsNominal, traces[wi], cfg.Shards)
+			res, err := simCell(g, noneFactory, "none", wi, func() *gpu.SharedFaults { return faultsNominal })
 			if err != nil {
 				return nil, err
 			}
@@ -353,7 +488,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					g.Classes = classSpecs[ki]
 					for vi, v := range cfg.Voltages {
 						g.Voltage = v
-						res, err := sim(ctx, g, factories[si], faultsAt[vi], traces[wi], cfg.Shards)
+						vi := vi
+						res, err := simCell(g, factories[si], cfg.Schemes[si], wi, func() *gpu.SharedFaults { return faultsAt[vi] })
 						if err != nil {
 							return nil, err
 						}
@@ -370,30 +506,87 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				}
 			}
 		}
+		if store != nil {
+			_ = store.PutDie(dieKey, rec.toCache()) // best-effort
+		}
 		return rec, nil
 	}
 
 	agg := newAggregator(&cfg)
 	start := time.Now()
 
-	if cfg.Parallelism <= 1 {
-		for d := 0; d < cfg.Dies; d++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			rec, err := runDie(d)
-			if err != nil {
-				return nil, err
-			}
-			agg.consume(rec)
-			if cfg.Progress != nil {
-				cfg.Progress(d+1, cfg.Dies)
-			}
+	// fail funnels every error exit: by the time it runs no worker is
+	// mid-Put (the serial loop is single-threaded; runParallel only returns
+	// after its pool drains), so sweeping stranded cache temp files is safe.
+	var ckpt *checkpoint
+	fail := func(err error) (*Result, error) {
+		if ckpt != nil {
+			ckpt.close()
 		}
-	} else if err := runParallel(ctx, &cfg, runDie, agg); err != nil {
+		if store != nil {
+			_, _ = store.RemoveTemps()
+		}
 		return nil, err
 	}
 
+	// deliver is the single in-order aggregation point: every record —
+	// resumed, cached, or computed — passes through here exactly once, in
+	// die order, on one goroutine.
+	deliver := func(rec *dieRecord) error {
+		agg.consume(rec)
+		if ckpt != nil && !rec.resumed {
+			if err := ckpt.append(rec); err != nil {
+				return err
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(ProgressInfo{Done: agg.done, Total: cfg.Dies, Cached: agg.cachedDies, Resumed: agg.resumedDies})
+		}
+		return nil
+	}
+
+	firstDie := 0
+	if cfg.CheckpointDir != "" {
+		var replay []simcache.DieRecord
+		ckpt, replay, err = openCheckpoint(&cfg, cells)
+		if err != nil {
+			return fail(err)
+		}
+		for _, c := range replay {
+			if c.Die >= cfg.Dies {
+				break // a longer prior campaign checkpointed more dies than this one needs
+			}
+			rec := fromCache(c)
+			rec.resumed = true
+			if err := deliver(rec); err != nil {
+				return fail(err)
+			}
+		}
+		firstDie = agg.done
+	}
+
+	if cfg.Parallelism <= 1 {
+		for d := firstDie; d < cfg.Dies; d++ {
+			if err := ctx.Err(); err != nil {
+				return fail(err)
+			}
+			rec, err := runDie(d)
+			if err != nil {
+				return fail(err)
+			}
+			if err := deliver(rec); err != nil {
+				return fail(err)
+			}
+		}
+	} else if err := runParallel(ctx, &cfg, firstDie, runDie, deliver); err != nil {
+		return fail(err)
+	}
+
+	if ckpt != nil {
+		if err := ckpt.close(); err != nil {
+			return nil, err
+		}
+	}
 	res := agg.finalize()
 	res.ElapsedSeconds = time.Since(start).Seconds()
 	if res.ElapsedSeconds > 0 {
@@ -402,15 +595,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runParallel fans dies out over a worker pool while the caller goroutine
-// aggregates completed records strictly in die order. The token channel is
-// the memory bound: a die may only be dispatched while fewer than
-// cfg.Window dies are un-aggregated, so pending records (in the reorder map
-// or the results buffer) never exceed the window. Because the results
-// channel's capacity equals the window, workers never block on it — the
-// pipeline cannot deadlock.
-func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord, error), agg *aggregator) error {
-	workers := min(cfg.Parallelism, cfg.Dies)
+// runParallel fans dies [firstDie, cfg.Dies) out over a worker pool while
+// the caller goroutine aggregates completed records strictly in die order
+// (through deliver — the aggregation, checkpointing, and progress hook).
+// The token channel is the memory bound: a die may only be dispatched while
+// fewer than cfg.Window dies are un-aggregated, so pending records (in the
+// reorder map or the results buffer) never exceed the window. Because the
+// results channel's capacity equals the window, workers never block on it —
+// the pipeline cannot deadlock.
+func runParallel(parent context.Context, cfg *Config, firstDie int, runDie func(int) (*dieRecord, error), deliver func(*dieRecord) error) error {
+	// A failed die leaves a permanent gap at the reorder point: no later
+	// delivery can release its token, so without cancellation the producer
+	// would eventually block on a full window while workers block on an
+	// empty (unclosed) dies channel. The internal context breaks that cycle:
+	// the first error cancels it, the producer stops dispatching, and the
+	// pool drains.
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	workers := min(cfg.Parallelism, cfg.Dies-firstDie)
 	tokens := make(chan struct{}, cfg.Window)
 	dies := make(chan int)
 	recs := make(chan *dieRecord, cfg.Window)
@@ -418,7 +621,7 @@ func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord,
 
 	go func() {
 		defer close(dies)
-		for d := 0; d < cfg.Dies; d++ {
+		for d := firstDie; d < cfg.Dies; d++ {
 			select {
 			case tokens <- struct{}{}:
 			case <-ctx.Done():
@@ -447,6 +650,7 @@ func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord,
 					case errc <- err:
 					default:
 					}
+					cancel()
 					continue
 				}
 				recs <- rec
@@ -456,7 +660,8 @@ func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord,
 	go func() { wg.Wait(); close(recs) }()
 
 	pending := make(map[int]*dieRecord, cfg.Window)
-	next := 0
+	next := firstDie
+	var deliverErr error
 	for rec := range recs {
 		pending[rec.die] = rec
 		for {
@@ -465,21 +670,26 @@ func runParallel(ctx context.Context, cfg *Config, runDie func(int) (*dieRecord,
 				break
 			}
 			delete(pending, next)
-			agg.consume(r)
+			if deliverErr == nil {
+				deliverErr = deliver(r)
+			}
 			next++
 			<-tokens
-			if cfg.Progress != nil {
-				cfg.Progress(next, cfg.Dies)
-			}
 		}
 	}
-	if err := ctx.Err(); err != nil {
+	// The parent context outranks everything (a cancelled campaign is
+	// cancelled, whatever else went wrong); a worker's error outranks the
+	// internal cancellation it triggered.
+	if err := parent.Err(); err != nil {
 		return err
 	}
 	select {
 	case err := <-errc:
 		return err
 	default:
+	}
+	if deliverErr != nil {
+		return deliverErr
 	}
 	if next != cfg.Dies {
 		return fmt.Errorf("campaign: aggregated %d of %d dies without an error (dispatch bug)", next, cfg.Dies)
@@ -517,6 +727,13 @@ type aggregator struct {
 	cells []cellAgg
 	vmin  []vminAgg
 	base  []welford // per workload: baseline cycles across dies
+
+	// Execution provenance counters, folded in by consume; they describe
+	// how records were obtained, never what they contain.
+	done        int
+	cachedDies  int
+	resumedDies int
+	cellHits    int64
 }
 
 func newAggregator(cfg *Config) *aggregator {
@@ -541,6 +758,14 @@ func newAggregator(cfg *Config) *aggregator {
 // strict die order; this is what makes every floating-point aggregate a
 // pure function of the campaign seed.
 func (a *aggregator) consume(rec *dieRecord) {
+	a.done++
+	if rec.cached {
+		a.cachedDies++
+	}
+	if rec.resumed {
+		a.resumedDies++
+	}
+	a.cellHits += int64(rec.cellHits)
 	cfg := a.cfg
 	for wi := range cfg.Workloads {
 		a.base[wi].add(float64(rec.base[wi]))
@@ -595,6 +820,9 @@ func (a *aggregator) finalize() *Result {
 		Schemes:       cfg.Schemes,
 		FaultClasses:  cfg.FaultClasses,
 		Voltages:      cfg.Voltages,
+		CachedDies:    a.cachedDies,
+		ResumedDies:   a.resumedDies,
+		CellCacheHits: a.cellHits,
 	}
 	for wi, w := range cfg.Workloads {
 		res.Baselines = append(res.Baselines, Baseline{
@@ -741,9 +969,16 @@ type Result struct {
 
 	// ElapsedSeconds and DiesPerSecond describe the execution, not the
 	// simulation: they vary by host and are excluded from every
-	// determinism comparison.
+	// determinism comparison. CachedDies, ResumedDies, and CellCacheHits
+	// are the same class of metadata — how records were obtained (whole-die
+	// cache hits, checkpoint replays, per-cell cache hits), which varies
+	// with cache state while the aggregates do not; WriteJSONL zeroes all
+	// five in its header so warm output stays byte-identical to cold.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	DiesPerSecond  float64 `json:"dies_per_second"`
+	CachedDies     int     `json:"cached_dies,omitempty"`
+	ResumedDies    int     `json:"resumed_dies,omitempty"`
+	CellCacheHits  int64   `json:"cell_cache_hits,omitempty"`
 }
 
 // YieldAt returns the yield of one (workload, scheme, voltage) cell, or

@@ -124,11 +124,11 @@ func TestParallelismInvariance(t *testing.T) {
 func TestProgressInOrder(t *testing.T) {
 	cfg := stubConfig(64, 8)
 	var calls []int
-	cfg.Progress = func(done, total int) {
-		if total != 64 {
-			t.Errorf("Progress total = %d, want 64", total)
+	cfg.Progress = func(p ProgressInfo) {
+		if p.Total != 64 {
+			t.Errorf("Progress total = %d, want 64", p.Total)
 		}
-		calls = append(calls, done)
+		calls = append(calls, p.Done)
 	}
 	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -244,8 +244,8 @@ func TestBoundedMemorySoak(t *testing.T) {
 
 	var peak atomic.Uint64
 	var checks atomic.Int64
-	cfg.Progress = func(done, total int) {
-		if done%512 != 0 && done != total {
+	cfg.Progress = func(p ProgressInfo) {
+		if p.Done%512 != 0 && p.Done != p.Total {
 			return
 		}
 		var m runtime.MemStats

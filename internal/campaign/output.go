@@ -63,11 +63,10 @@ func (r *Result) WriteTable(w io.Writer) error {
 		}
 		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\n", row, cdf.FailFrac, cdf.MeanVmin)
 	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "\n%d dies in %.1fs (%.2f dies/s)\n", r.Dies, r.ElapsedSeconds, r.DiesPerSecond)
-	return nil
+	// No timing footer: every output format is a pure function of the
+	// aggregates, so warm/resumed runs stay byte-identical to cold ones.
+	// killi-fleet reports wall-clock on stderr instead.
+	return tw.Flush()
 }
 
 // g17 renders a float at full precision (%.17g round-trips every float64
@@ -121,6 +120,10 @@ func (r *Result) WriteJSONL(w io.Writer) error {
 	}
 	header := *r
 	header.Baselines, header.Cells, header.Vmin = nil, nil, nil
+	// Execution metadata varies by host and cache state, never with the
+	// simulation; zero it so warm/resumed JSONL is byte-identical to cold.
+	header.ElapsedSeconds, header.DiesPerSecond = 0, 0
+	header.CachedDies, header.ResumedDies, header.CellCacheHits = 0, 0, 0
 	rows := []headed{{Type: "campaign", Data: header}}
 	for i := range r.Baselines {
 		rows = append(rows, headed{Type: "baseline", Data: r.Baselines[i]})

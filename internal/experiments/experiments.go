@@ -362,6 +362,25 @@ func taskDesc(cfg Config, g gpu.Config, schemeName, workloadName string) string 
 		g, schemeName, workloadName, cfg.Seed, cfg.RequestsPerCU, cfg.WarmupKernels, cfg.ScrubKernels)
 }
 
+// CellKey returns the simcache key for one simulation cell described by its
+// complete inputs — the exact key Run and RunOne use for the same inputs
+// (scrub fixed at 0, matching RunShared), so a campaign's per-cell cache
+// entries and a sweep's entries are one shared population: a fleet campaign
+// warms the cache for later killi-sim runs and vice versa.
+func CellKey(g gpu.Config, schemeName, workloadName string, seed uint64, requests, warmup int) string {
+	cfg := Config{Seed: seed, RequestsPerCU: requests, WarmupKernels: warmup}
+	return simcache.Key(taskDesc(cfg, g, schemeName, workloadName))
+}
+
+// CacheableResult extracts the scalar slice of a result that the cache
+// stores; ResultFromCache inverts it. Exported for internal/campaign, which
+// shares the sweep's per-cell cache population.
+func CacheableResult(res gpu.Result) simcache.Result { return cacheable(res) }
+
+// ResultFromCache rebuilds a gpu.Result from a cache entry. Counters stay
+// nil: consumers of cached results use only the scalars.
+func ResultFromCache(c simcache.Result) gpu.Result { return cachedResult(c) }
+
 // cacheable extracts the scalar slice of a result that the cache stores.
 func cacheable(res gpu.Result) simcache.Result {
 	c := simcache.Result{

@@ -27,6 +27,14 @@
 // The cache holds only the scalar result of a task (cycles, instruction and
 // miss counts, disabled lines) — everything the sweep merge consumes. Debug
 // counters are not cached; runs that need them bypass the cache.
+//
+// Two record kinds share one directory: plain Result entries (one simulation
+// each, the sweep/single-run unit) and DieRecord entries (one campaign die's
+// complete evaluation — its fault-free baselines plus every per-cell scalar —
+// the unit internal/campaign streams on a warm re-run). Kinds are disjoint
+// by construction: the kind participates in both the content address and the
+// entry checksum, so a die key can never deserialize as a plain result or
+// vice versa.
 package simcache
 
 import (
@@ -36,14 +44,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 )
 
 // SchemaVersion invalidates every existing cache entry when bumped. It must
 // change whenever a code change alters simulation results (a golden-digest
 // change is the tell) or the Result layout. v3: fault-class results (SDC,
-// transient strikes, misclassification scalars) joined the payload.
-const SchemaVersion = 3
+// transient strikes, misclassification scalars) joined the payload. v4: the
+// campaign die-record kind joined the store.
+const SchemaVersion = 4
 
 // Result is the cacheable scalar slice of a simulation result. The
 // misclassification fields are zero for runs whose scheme exposes no DFH
@@ -65,24 +75,89 @@ type Result struct {
 	FalseTrust       int    `json:"false_trust,omitempty"`
 }
 
+// Entry kinds stored in the cache directory. The kind is part of both the
+// content address and the checksum, so the kinds can never alias.
+const (
+	kindResult = "result"
+	kindDie    = "die"
+)
+
+// DieRecord is one campaign die's complete evaluation: the fault-free
+// nominal-voltage baseline per workload plus the scalar outcome of every
+// (workload, scheme, class, voltage) cell, cell-index-major with voltage
+// fastest — exactly the record internal/campaign aggregates, so a warm
+// campaign re-run is one Get per die. The same shape serializes into
+// campaign checkpoint files.
+type DieRecord struct {
+	Die          int       `json:"die"`
+	Base         []uint64  `json:"base"`
+	Cycles       []uint64  `json:"cycles"`
+	MPKI         []float64 `json:"mpki"`
+	Disabled     []int32   `json:"disabled"`
+	SDC          []uint64  `json:"sdc"`
+	FalseDisable []int32   `json:"false_disable"`
+	FalseTrust   []int32   `json:"false_trust"`
+}
+
+// Canonical renders the record as a stable string: every float at %.17g (the
+// round-trip-exact format), every slice length explicit. It feeds both the
+// entry checksum and the campaign checkpoint's record validation.
+func (r DieRecord) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "die=%d base=%d cells=%d|", r.Die, len(r.Base), len(r.Cycles))
+	for _, v := range r.Base {
+		fmt.Fprintf(&b, "%d ", v)
+	}
+	b.WriteByte('|')
+	for i := range r.Cycles {
+		fmt.Fprintf(&b, "%d %.17g %d %d %d %d;", r.Cycles[i], r.MPKI[i], r.Disabled[i], r.SDC[i], r.FalseDisable[i], r.FalseTrust[i])
+	}
+	return b.String()
+}
+
+// Shaped reports whether the record has the slice lengths a campaign with
+// the given workload and cell counts expects — the structural validation a
+// replayed checkpoint record and a cached die record both pass before being
+// aggregated.
+func (r DieRecord) Shaped(workloads, cells int) bool {
+	return len(r.Base) == workloads &&
+		len(r.Cycles) == cells && len(r.MPKI) == cells && len(r.Disabled) == cells &&
+		len(r.SDC) == cells && len(r.FalseDisable) == cells && len(r.FalseTrust) == cells
+}
+
 // entry is the on-disk representation of one cached result.
 type entry struct {
 	Schema   int    `json:"schema"`
+	Kind     string `json:"kind"`
 	Key      string `json:"key"`
 	Result   Result `json:"result"`
 	Checksum string `json:"checksum"`
 }
 
-// checksum digests the fields the entry protects: the schema, the key, and
-// the canonical encoding of the result.
+// checksum digests the fields the entry protects: the schema, the kind, the
+// key, and the canonical encoding of the result.
 func (e entry) checksum() string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%d %d %d %d %d %d %d %d %d %d %d %d %d %d",
-		e.Schema, e.Key,
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|%d %d %d %d %d %d %d %d %d %d %d %d %d %d",
+		e.Schema, e.Kind, e.Key,
 		e.Result.Cycles, e.Result.Instructions, e.Result.L2Misses,
 		e.Result.L2Accesses, e.Result.MemAccesses, e.Result.DisabledLines,
 		e.Result.SDC, e.Result.TransientStrikes, e.Result.MisclassLines,
 		e.Result.TrueFaulty, e.Result.MisclassDisabled, e.Result.MisclassInitial,
 		e.Result.FalseDisable, e.Result.FalseTrust)))
+	return hex.EncodeToString(sum[:])
+}
+
+// dieEntry is the on-disk representation of one cached die record.
+type dieEntry struct {
+	Schema   int       `json:"schema"`
+	Kind     string    `json:"kind"`
+	Key      string    `json:"key"`
+	Record   DieRecord `json:"record"`
+	Checksum string    `json:"checksum"`
+}
+
+func (e dieEntry) checksum() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|%s", e.Schema, e.Kind, e.Key, e.Record.Canonical())))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -138,6 +213,7 @@ func (s *Store) Get(key string) (Result, bool) {
 	var e entry
 	if json.Unmarshal(buf, &e) != nil ||
 		e.Schema != SchemaVersion ||
+		e.Kind != kindResult ||
 		e.Key != key ||
 		e.Checksum != e.checksum() {
 		s.misses.Add(1)
@@ -147,10 +223,48 @@ func (s *Store) Get(key string) (Result, bool) {
 	return e.Result, true
 }
 
+// GetDie returns the cached die record for key. Validation mirrors Get: a
+// missing file, wrong schema, wrong kind (a plain result under a confused
+// key), wrong key, or checksum mismatch is a miss and the caller recomputes
+// the die.
+func (s *Store) GetDie(key string) (DieRecord, bool) {
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return DieRecord{}, false
+	}
+	var e dieEntry
+	if json.Unmarshal(buf, &e) != nil ||
+		e.Schema != SchemaVersion ||
+		e.Kind != kindDie ||
+		e.Key != key ||
+		e.Checksum != e.checksum() {
+		s.misses.Add(1)
+		return DieRecord{}, false
+	}
+	s.hits.Add(1)
+	return e.Record, true
+}
+
 // Put stores a result under key, atomically replacing any existing entry.
 func (s *Store) Put(key string, r Result) error {
-	e := entry{Schema: SchemaVersion, Key: key, Result: r}
+	e := entry{Schema: SchemaVersion, Kind: kindResult, Key: key, Result: r}
 	e.Checksum = e.checksum()
+	return s.write(key, e)
+}
+
+// PutDie stores a die record under key, atomically replacing any existing
+// entry. Like Put it is best-effort from the campaign's perspective: a full
+// disk must not fail a run.
+func (s *Store) PutDie(key string, r DieRecord) error {
+	e := dieEntry{Schema: SchemaVersion, Kind: kindDie, Key: key, Record: r}
+	e.Checksum = e.checksum()
+	return s.write(key, e)
+}
+
+// write marshals an entry of either kind and lands it atomically: temp file,
+// write, fsync, rename, directory fsync.
+func (s *Store) write(key string, e any) error {
 	buf, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
 		s.writeFailures.Add(1)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -121,7 +122,7 @@ func TestSchemaMismatchIsAMiss(t *testing.T) {
 
 	// Rewrite the entry as a future schema version with a self-consistent
 	// checksum: the in-file schema check alone must reject it.
-	e := entry{Schema: SchemaVersion + 1, Key: key, Result: testResult()}
+	e := entry{Schema: SchemaVersion + 1, Kind: "result", Key: key, Result: testResult()}
 	e.Checksum = e.checksum()
 	buf, err := json.Marshal(e)
 	if err != nil {
@@ -208,6 +209,186 @@ func TestRemoveTempsSweepsOnlyTempFiles(t *testing.T) {
 	// Idempotent on an already-clean directory.
 	if n, err := s.RemoveTemps(); err != nil || n != 0 {
 		t.Fatalf("second RemoveTemps = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func testDieRecord() DieRecord {
+	return DieRecord{
+		Die:          7,
+		Base:         []uint64{23511, 40100},
+		Cycles:       []uint64{23511, 23900, 40100, 40250},
+		MPKI:         []float64{82.573, 83.001, 12.5, 12.625},
+		Disabled:     []int32{0, 3, 0, 5},
+		SDC:          []uint64{0, 1, 0, 0},
+		FalseDisable: []int32{0, 0, 0, 2},
+		FalseTrust:   []int32{0, 1, 0, 0},
+	}
+}
+
+func TestDieRecordRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("campaign axes\ndie=7")
+	if _, ok := s.GetDie(key); ok {
+		t.Fatal("GetDie on empty store reported a hit")
+	}
+	want := testDieRecord()
+	if err := s.PutDie(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetDie(key)
+	if !ok {
+		t.Fatal("GetDie missed a stored die record")
+	}
+	if got.Canonical() != want.Canonical() {
+		t.Fatalf("round trip changed the record:\ngot  %s\nwant %s", got.Canonical(), want.Canonical())
+	}
+	if !got.Shaped(2, 4) {
+		t.Fatal("round-tripped record lost its shape")
+	}
+	if got.Shaped(2, 5) || got.Shaped(1, 4) {
+		t.Fatal("Shaped accepted wrong dimensions")
+	}
+}
+
+// A die key must never deserialize as a plain result, nor a result key as a
+// die record: the kind participates in the checksum, so cross-kind reads are
+// misses even when the file parses.
+func TestKindConfusionIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dieKey, resKey := Key("die entry"), Key("result entry")
+	if err := s.PutDie(dieKey, testDieRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(resKey, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(dieKey); ok {
+		t.Fatal("Get served a die-record entry as a plain result")
+	}
+	if _, ok := s.GetDie(resKey); ok {
+		t.Fatal("GetDie served a plain result entry as a die record")
+	}
+	// The right-kind reads still work after the wrong-kind probes.
+	if _, ok := s.GetDie(dieKey); !ok {
+		t.Fatal("GetDie missed its own entry")
+	}
+	if _, ok := s.Get(resKey); !ok {
+		t.Fatal("Get missed its own entry")
+	}
+}
+
+func TestCorruptedDieEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("die desc")
+	if err := s.PutDie(key, testDieRecord()); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range map[string]string{
+		"flipped payload": strings.Replace(string(orig), `"die": 7`, `"die": 8`, 1),
+		"truncated":       string(orig[:len(orig)/2]),
+		"not json":        "hello\n",
+	} {
+		if corrupt == string(orig) {
+			t.Fatalf("%s: corruption did not change the file", name)
+		}
+		if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.GetDie(key); ok {
+			t.Errorf("%s: corrupted die entry served as a hit", name)
+		}
+	}
+	// Recomputing repairs in place.
+	if err := s.PutDie(key, testDieRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.GetDie(key); !ok || got.Canonical() != testDieRecord().Canonical() {
+		t.Fatalf("repaired die entry not served: ok=%v", ok)
+	}
+}
+
+// Parallel die workers can Put the same key concurrently (two campaigns
+// racing, or a worker repairing a corrupt entry while another recomputes
+// it). Whatever write wins the final rename, the entry must be whole: a
+// valid checksum over one writer's complete payload, never a torn mix.
+func TestConcurrentPutSameKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("contended")
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := testResult()
+			r.Cycles += uint64(i) // distinct payloads make tearing detectable
+			for j := 0; j < 8; j++ {
+				if err := s.Put(key, r); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("no valid entry after concurrent writers finished")
+	}
+	if d := got.Cycles - testResult().Cycles; d >= writers {
+		t.Fatalf("winning entry is no single writer's payload: cycles=%d", got.Cycles)
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "put-*")); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+// Same contention through the die-record path.
+func TestConcurrentPutDieSameKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("contended die")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := testDieRecord()
+			r.Cycles = append([]uint64(nil), r.Cycles...)
+			r.Cycles[0] += uint64(i)
+			if err := s.PutDie(key, r); err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, ok := s.GetDie(key)
+	if !ok {
+		t.Fatal("no valid die entry after concurrent writers finished")
+	}
+	if d := got.Cycles[0] - testDieRecord().Cycles[0]; d >= 8 {
+		t.Fatalf("winning die entry is no single writer's payload: cycles[0]=%d", got.Cycles[0])
 	}
 }
 

@@ -55,6 +55,44 @@ func TestSubmitCampaign(t *testing.T) {
 	}
 }
 
+// TestCampaignDieCache pins that campaign jobs honor the server's result
+// store at the die grain: with retention disabled (so the registry cannot
+// answer), an identical re-submission streams whole-die records from the
+// cache, reports Cached, and returns identical aggregates.
+func TestCampaignDieCache(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheDir: t.TempDir(), RetainJobs: -1})
+	ctx := context.Background()
+
+	cold, err := s.Submit(ctx, smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || cold.Campaign.CachedDies != 0 {
+		t.Fatalf("cold campaign reported cache hits: %+v", cold.Campaign.CachedDies)
+	}
+	warm, err := s.Submit(ctx, smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Coalesced {
+		t.Fatal("sequential submissions cannot coalesce")
+	}
+	if !warm.Cached {
+		t.Fatal("warm campaign not marked cached despite a full die-cache run")
+	}
+	if warm.Campaign.CachedDies != 2 {
+		t.Fatalf("warm campaign CachedDies = %d, want 2", warm.Campaign.CachedDies)
+	}
+	// The aggregates must be bit-identical; only execution metadata may
+	// differ between the passes.
+	a, b := *cold.Campaign, *warm.Campaign
+	a.ElapsedSeconds, a.DiesPerSecond, a.CachedDies, a.ResumedDies, a.CellCacheHits = 0, 0, 0, 0, 0
+	b.ElapsedSeconds, b.DiesPerSecond, b.CachedDies, b.ResumedDies, b.CellCacheHits = 0, 0, 0, 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("die-cache campaign aggregates diverge from the cold run")
+	}
+}
+
 // TestCampaignKeyCanonical pins that defaults and explicit values produce
 // the same content address: a campaign written tersely coalesces with its
 // fully spelled-out twin, and execution knobs stay out of the key.

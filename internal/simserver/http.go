@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"killi/internal/campaign"
 	"killi/internal/experiments"
 	"killi/internal/obs"
 )
@@ -253,13 +254,16 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// Called in die order on the aggregating goroutine (one goroutine, so
 	// lastSent needs no lock). Throttled to ~0.5% steps; sends never block,
 	// so a slow subscriber misses progress rather than stalling aggregation.
-	progress := func(done, total int) {
-		if step := max(1, total/200); done != total && done-lastSent < step {
+	progress := func(p campaign.ProgressInfo) {
+		if step := max(1, p.Total/200); p.Done != p.Total && p.Done-lastSent < step {
 			return
 		}
-		lastSent = done
+		lastSent = p.Done
 		select {
-		case ch <- observeEvent{name: "progress", data: map[string]int{"dies_done": done, "dies_total": total}}:
+		case ch <- observeEvent{name: "progress", data: map[string]int{
+			"dies_done": p.Done, "dies_total": p.Total,
+			"dies_cached": p.Cached, "dies_resumed": p.Resumed,
+		}}:
 		default:
 			dropped++
 		}

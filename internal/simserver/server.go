@@ -58,9 +58,9 @@ type Config struct {
 type call struct {
 	req      JobRequest
 	key      string
-	observer obs.Observer          // non-nil: an observe job (never coalesced)
-	progress func(done, total int) // non-nil: a streamed campaign (never coalesced)
-	subCtx   context.Context       // observe/streamed only: the subscriber's context
+	observer obs.Observer                // non-nil: an observe job (never coalesced)
+	progress func(campaign.ProgressInfo) // non-nil: a streamed campaign (never coalesced)
+	subCtx   context.Context             // observe/streamed only: the subscriber's context
 	done     chan struct{}
 	res      *JobResult
 	err      error
@@ -258,10 +258,14 @@ func (s *Server) execute(ctx context.Context, c *call) (*JobResult, error) {
 		out.Run = runResult(res)
 	case req.Kind == KindCampaign:
 		ccfg := req.campaignConfig()
+		// Campaign jobs honor the server's result cache at both grains
+		// (whole-die records and per-cell entries); the retained-result
+		// registry sits in front of this unchanged.
+		ccfg.CacheDir = s.cfg.CacheDir
 		ccfg.Progress = c.progress
 		if ccfg.Progress == nil {
 			if m := s.cfg.Metrics; m != nil {
-				ccfg.Progress = m.TaskDone
+				ccfg.Progress = func(p campaign.ProgressInfo) { m.TaskDone(p.Done, p.Total) }
 			}
 		}
 		res, err := campaign.Run(runCtx, ccfg)
@@ -269,6 +273,9 @@ func (s *Server) execute(ctx context.Context, c *call) (*JobResult, error) {
 			return nil, err
 		}
 		out.Campaign = res
+		// Every die served whole from the store means the campaign touched
+		// no simulator at all — the campaign analogue of a cached run.
+		out.Cached = s.store != nil && res.CachedDies == res.Dies
 	case req.Kind == KindSweep:
 		if m := s.cfg.Metrics; m != nil {
 			cfg.Progress = m.TaskDone
@@ -373,14 +380,16 @@ func (s *Server) SubmitObserved(ctx context.Context, req JobRequest, o obs.Obser
 }
 
 // SubmitCampaignObserved is Submit for a campaign job with a live progress
-// subscriber: progress receives (diesDone, totalDies) in die order while the
-// campaign executes — the feed behind killi-simd's GET /v1/campaign SSE
-// stream. Like observe streams, subscribed campaigns share the queue,
-// budget, and backpressure but are never coalesced or retained, and
-// cancelling ctx cancels the running campaign at the next kernel boundary.
-// Plain (unsubscribed) campaigns go through Submit like any other job and
-// get coalescing, retention, and metrics-based progress for free.
-func (s *Server) SubmitCampaignObserved(ctx context.Context, req JobRequest, progress func(done, total int)) (*JobResult, error) {
+// subscriber: progress receives cumulative die counts (done/total plus how
+// many were served from the die cache or replayed from a checkpoint) in die
+// order while the campaign executes — the feed behind killi-simd's
+// GET /v1/campaign SSE stream. Like observe streams, subscribed campaigns
+// share the queue, budget, and backpressure but are never coalesced or
+// retained, and cancelling ctx cancels the running campaign at the next
+// kernel boundary. Plain (unsubscribed) campaigns go through Submit like
+// any other job and get coalescing, retention, and metrics-based progress
+// for free.
+func (s *Server) SubmitCampaignObserved(ctx context.Context, req JobRequest, progress func(campaign.ProgressInfo)) (*JobResult, error) {
 	if req.Kind != KindCampaign {
 		return nil, &ValidationError{Err: fmt.Errorf("campaign streams are campaign jobs; got kind %q", req.Kind)}
 	}
